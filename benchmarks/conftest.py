@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures: per-experiment row collection and tables.
+
+Each benchmark file reproduces one experiment from DESIGN.md's index;
+rows accumulate in a session-wide registry and are printed as markdown
+tables at the end of the session (this is the output EXPERIMENTS.md
+records).
+"""
+
+import collections
+
+import pytest
+
+from repro.analysis import format_table
+
+_ROWS = collections.defaultdict(list)
+
+
+@pytest.fixture
+def experiment_rows():
+    """Append dict-rows under an experiment id; printed at session end."""
+
+    def add(experiment: str, row: dict) -> None:
+        _ROWS[experiment].append(row)
+
+    return add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _ROWS:
+        return
+    out = ["", "=" * 70, "EXPERIMENT TABLES (paper-shape output)", "=" * 70]
+    for exp in sorted(_ROWS):
+        out.append(f"\n--- {exp} ---")
+        out.append(format_table(_ROWS[exp]))
+    print("\n".join(out))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a simulation exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

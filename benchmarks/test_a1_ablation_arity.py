@@ -1,0 +1,39 @@
+"""A1 — ablation: gadget-tree arity (DESIGN.md note 7).
+
+Sweeps the wreath family's branching factor to show why the k-ary
+gadget alone cannot buy the Section 5 speedup: tree depth (and hence
+committee diameter and phase length) is pinned near log2 by the
+doubling subroutine, while degree grows with k.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.subroutines import run_line_to_kary_tree
+
+N = 512
+
+
+@pytest.mark.parametrize("k", [2, 4, 8, 16])
+def test_a1_arity_sweep(benchmark, experiment_rows, k):
+    line = graphs.line_graph(N)
+    res = run_once(benchmark, run_line_to_kary_tree, line, N - 1, k=k)
+    fg = res.final_graph()
+    experiment_rows(
+        "A1 ablation: gadget arity",
+        {
+            "k": k,
+            "n": N,
+            "tree_depth": graphs.tree_depth(fg, N - 1),
+            "log2 n": math.ceil(math.log2(N)),
+            "log_k n": round(math.log(N, k), 1),
+            "max_degree": graphs.max_degree(fg),
+            "rounds": res.rounds,
+        },
+    )
+    assert graphs.is_kary_tree(fg, N - 1, k)
+    # The doubling bound: depth stays near log2 regardless of k.
+    assert graphs.tree_depth(fg, N - 1) >= math.floor(math.log2(N)) - 3

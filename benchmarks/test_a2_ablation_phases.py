@@ -1,0 +1,43 @@
+"""A2 — ablation: where GraphToStar's rounds go.
+
+Profiles phase counts and per-phase activity against committee counts:
+the committee-count column should (at least) halve every couple of
+phases — the exponential-growth invariant behind Lemma 3.6.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.core import run_graph_to_star
+from repro.core.graph_to_star import PHASE_LEN
+
+SIZES = [64, 256]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_a2_phase_anatomy(benchmark, experiment_rows, n):
+    g = graphs.make("ring", n)
+    m = g.number_of_nodes()
+    res = run_once(benchmark, run_graph_to_star, g, collect_trace=True)
+    phases = math.ceil(res.rounds / PHASE_LEN)
+    per_phase = [0] * phases
+    for record in res.trace:
+        per_phase[(record.round - 1) // PHASE_LEN] += len(record.activations)
+    active_phases = sum(1 for c in per_phase if c)
+    experiment_rows(
+        "A2 ablation: GraphToStar phases",
+        {
+            "n": m,
+            "rounds": res.rounds,
+            "phase_len": PHASE_LEN,
+            "phases": phases,
+            "phases/log n": round(phases / math.log2(m), 2),
+            "active_phases": active_phases,
+            "acts_per_phase(max)": max(per_phase),
+        },
+    )
+    # Exponential committee growth: phases = O(log n).
+    assert phases <= 4 * math.ceil(math.log2(m)) + 6

@@ -1,0 +1,41 @@
+"""E10 — Section 1.2: the clique-formation baseline.
+
+Time-optimal O(log n) but Theta(n^2) activations and Theta(n) degree —
+the cost profile the paper's algorithms eliminate.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.core import run_clique_formation, run_graph_to_star
+
+SIZES = [32, 64, 128]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e10_clique_vs_graph_to_star(benchmark, experiment_rows, n):
+    g = graphs.make("line", n)
+    res = run_once(benchmark, run_clique_formation, g)
+    star = run_graph_to_star(g)
+    experiment_rows(
+        "E10 clique baseline (Sec 1.2)",
+        {
+            "n": n,
+            "clique_rounds": res.rounds,
+            "clique_acts": res.metrics.total_activations,
+            "n^2/2": n * n // 2,
+            "clique_degree": res.metrics.max_activated_degree,
+            "g2s_rounds": star.rounds,
+            "g2s_acts": star.metrics.total_activations,
+            "n log n": int(n * math.log2(n)),
+            "g2s_degree": star.metrics.max_activated_degree,
+        },
+    )
+    # The quadratic/linear-degree cost profile of the strawman.
+    assert res.metrics.total_activations >= n * (n - 1) // 2 - (n - 1)
+    assert res.metrics.max_activated_degree >= n - 3
+    # Same asymptotic time, vastly cheaper edges for GraphToStar.
+    assert star.metrics.total_activations <= 3 * n * math.ceil(math.log2(n))

@@ -1,0 +1,59 @@
+"""E12 — Section 1.3: transform-then-compute composition.
+
+Reconfigure to polylog diameter, then disseminate tokens: end-to-end
+polylog rounds, versus Theta(diameter) for flooding on G_s directly.
+The crossover is the paper's motivation.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.core import run_graph_to_star, run_graph_to_wreath
+from repro.problems import (
+    disseminate_without_transform,
+    transform_then_disseminate,
+)
+
+SIZES = [64, 128, 256, 400]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e12_composition_crossover(benchmark, experiment_rows, n):
+    g = graphs.make("line", n)
+    comp = run_once(benchmark, transform_then_disseminate, g, run_graph_to_star)
+    baseline = disseminate_without_transform(g)
+    experiment_rows(
+        "E12 composition (Sec 1.3)",
+        {
+            "n": n,
+            "transform_rounds": comp.transform.rounds,
+            "disseminate_rounds": comp.disseminate.rounds,
+            "composed_total": comp.total_rounds,
+            "flooding_on_Gs": baseline.rounds,
+            "composed_wins": comp.total_rounds < baseline.rounds,
+        },
+    )
+    assert comp.complete
+    if n >= 256:
+        assert comp.total_rounds < baseline.rounds
+
+
+def test_e12_wreath_composition(benchmark, experiment_rows):
+    g = graphs.make("line", 128)
+    comp = benchmark.pedantic(
+        transform_then_disseminate, args=(g, run_graph_to_wreath), rounds=1, iterations=1
+    )
+    experiment_rows(
+        "E12 composition (Sec 1.3)",
+        {
+            "n": "128 (wreath)",
+            "transform_rounds": comp.transform.rounds,
+            "disseminate_rounds": comp.disseminate.rounds,
+            "composed_total": comp.total_rounds,
+            "flooding_on_Gs": disseminate_without_transform(g).rounds,
+            "composed_wins": "-",
+        },
+    )
+    assert comp.complete
+    assert comp.disseminate.rounds <= 30  # over an O(log n)-depth tree

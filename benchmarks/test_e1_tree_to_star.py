@@ -1,0 +1,59 @@
+"""E1 — Proposition 2.1: TreeToStar.
+
+Claim: ceil(log d) rounds, <= 2n-3 active edges per round, O(n log n)
+total activations, final spanning star (diameter 2).
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.subroutines import run_tree_to_star
+
+SIZES = [64, 256, 1024]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_path_tree(benchmark, experiment_rows, n):
+    tree = graphs.line_graph(n)
+    res = run_once(benchmark, run_tree_to_star, tree, 0)
+    logd = math.ceil(math.log2(n - 1))
+    experiment_rows(
+        "E1 TreeToStar (Prop 2.1)",
+        {
+            "tree": "path",
+            "n": n,
+            "rounds": res.rounds,
+            "paper ceil(log d)": logd,
+            "total_activations": res.metrics.total_activations,
+            "paper n*log n": n * math.ceil(math.log2(n)),
+            "max_active_edges": res.metrics.max_activated_edges,
+            "bound 2n-3": 2 * n - 3,
+        },
+    )
+    assert res.rounds <= logd + 2
+    assert res.metrics.total_activations <= n * math.ceil(math.log2(n))
+    assert graphs.is_spanning_star(res.final_graph(), center=0)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_random_tree(benchmark, experiment_rows, n):
+    tree = graphs.random_tree(n, seed=n)
+    root = max(tree.nodes())
+    res = run_once(benchmark, run_tree_to_star, tree, root)
+    experiment_rows(
+        "E1 TreeToStar (Prop 2.1)",
+        {
+            "tree": "random",
+            "n": n,
+            "rounds": res.rounds,
+            "paper ceil(log d)": "<= log n",
+            "total_activations": res.metrics.total_activations,
+            "paper n*log n": n * math.ceil(math.log2(n)),
+            "max_active_edges": res.metrics.max_activated_edges,
+            "bound 2n-3": 2 * n - 3,
+        },
+    )
+    assert graphs.is_spanning_star(res.final_graph(), center=root)

@@ -1,0 +1,66 @@
+"""E2 — Proposition 2.2: LineToCompleteBinaryTree.
+
+Claim: O(log d) rounds, <= 2n-3 active edges per round, n log n total
+activations, bounded degree (3 final / 4 transient).
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.subroutines import run_line_to_cbt
+
+SIZES = [64, 256, 1024]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e2_line_to_cbt(benchmark, experiment_rows, n):
+    line = graphs.line_graph(n)
+    res = run_once(benchmark, run_line_to_cbt, line, n - 1)
+    fg = res.final_graph()
+    depth = graphs.tree_depth(fg, n - 1)
+    experiment_rows(
+        "E2 LineToCBT (Prop 2.2)",
+        {
+            "n": n,
+            "rounds": res.rounds,
+            "rounds/log n": round(res.rounds / math.log2(n), 2),
+            "total_activations": res.metrics.total_activations,
+            "paper n*log n": n * math.ceil(math.log2(n)),
+            "tree_depth": depth,
+            "max_degree(final)": graphs.max_degree(fg),
+            "max_activated_degree": res.metrics.max_activated_degree,
+        },
+    )
+    assert graphs.is_binary_tree(fg, n - 1)
+    assert graphs.max_degree(fg) <= 3
+    assert res.metrics.max_activated_degree <= 4
+    assert res.metrics.total_activations <= n * math.ceil(math.log2(n))
+
+
+def test_e2_async_wake_wave(benchmark, experiment_rows):
+    """Corollary B.5: rounds track wake spread + log n."""
+    from repro.subroutines import run_line_to_kary_tree
+
+    n = 256
+    line = graphs.line_graph(n)
+    wake = {u: 1 + (n - 1 - u) // 4 for u in range(n)}
+    res = run_once(
+        benchmark, run_line_to_kary_tree, line, n - 1, k=2, wake_rounds=wake
+    )
+    experiment_rows(
+        "E2 LineToCBT (Prop 2.2)",
+        {
+            "n": n,
+            "rounds": res.rounds,
+            "rounds/log n": "async wave",
+            "total_activations": res.metrics.total_activations,
+            "paper n*log n": n * math.ceil(math.log2(n)),
+            "tree_depth": graphs.tree_depth(res.final_graph(), n - 1),
+            "max_degree(final)": graphs.max_degree(res.final_graph()),
+            "max_activated_degree": res.metrics.max_activated_degree,
+        },
+    )
+    assert res.rounds <= max(wake.values()) + 6 * math.ceil(math.log2(n)) + 12

@@ -1,0 +1,57 @@
+"""E3 — Theorem 3.8: GraphToStar.
+
+Claim: O(log n) time, O(n log n) total activations (optimal), at most
+2n active edges per round, target diameter 2, leader = max UID.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.analysis import fit_constant
+from repro.core import elected_leader, run_graph_to_star
+
+SIZES = [32, 64, 128, 256]
+_scaling: list = []
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("family", ["line", "ring", "random_tree", "gnp"])
+def test_e3_families(benchmark, experiment_rows, family, n):
+    g = graphs.make(family, n)
+    m = g.number_of_nodes()
+    res = run_once(benchmark, run_graph_to_star, g)
+    logn = math.log2(m)
+    experiment_rows(
+        "E3 GraphToStar (Thm 3.8)",
+        {
+            "family": family,
+            "n": m,
+            "rounds": res.rounds,
+            "rounds/log n": round(res.rounds / logn, 1),
+            "activations": res.metrics.total_activations,
+            "act/(n log n)": round(res.metrics.total_activations / (m * logn), 2),
+            "max_act_edges": res.metrics.max_activated_edges,
+            "bound 2n": 2 * m,
+            "diameter": graphs.diameter(res.final_graph()),
+        },
+    )
+    if family == "line":
+        _scaling.append((m, res.rounds))
+    assert graphs.is_spanning_star(res.final_graph(), center=max(g.nodes()))
+    assert elected_leader(res) == max(g.nodes())
+    assert res.metrics.max_activated_edges <= 2 * m
+
+
+def test_e3_logarithmic_fit(benchmark, experiment_rows):
+    """The rounds column grows as c * log n (not polynomially)."""
+    ns = [n for n, _ in _scaling]
+    ys = [r for _, r in _scaling]
+    c, err = benchmark.pedantic(fit_constant, args=(ns, ys, "log"), rounds=1, iterations=1)
+    experiment_rows(
+        "E3 GraphToStar (Thm 3.8)",
+        {"family": "fit", "n": "-", "rounds": f"c={c:.1f}*log n", "rounds/log n": f"err={err:.2f}"},
+    )
+    assert err < 0.35

@@ -1,0 +1,61 @@
+"""E4 — Theorem 4.2: GraphToWreath.
+
+Claim: O(log^2 n) time, O(n log^2 n) activations, O(n) active edges per
+round, O(1) maximum activated degree, final depth O(log n).
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.core import run_graph_to_wreath, wreath_leader
+
+SIZES = [32, 64, 128]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("family", ["line", "ring", "regular3"])
+def test_e4_families(benchmark, experiment_rows, family, n):
+    g = graphs.make(family, n)
+    m = g.number_of_nodes()
+    res = run_once(benchmark, run_graph_to_wreath, g)
+    fg = res.final_graph()
+    root = max(g.nodes())
+    logn = math.log2(m)
+    experiment_rows(
+        "E4 GraphToWreath (Thm 4.2)",
+        {
+            "family": family,
+            "n": m,
+            "rounds": res.rounds,
+            "rounds/log^2": round(res.rounds / logn**2, 1),
+            "activations": res.metrics.total_activations,
+            "act/(n log^2)": round(res.metrics.total_activations / (m * logn**2), 2),
+            "max_act_edges": res.metrics.max_activated_edges,
+            "max_act_degree": res.metrics.max_activated_degree,
+            "tree_depth": graphs.tree_depth(fg, root),
+            "ceil(log n)": math.ceil(logn),
+        },
+    )
+    assert graphs.is_binary_tree(fg, root)
+    assert wreath_leader(res) == root
+    assert res.metrics.max_activated_degree <= 8
+    assert res.metrics.max_activated_edges <= 3 * m
+
+
+def test_e4_degree_stays_constant(benchmark, experiment_rows):
+    """The defining contrast with GraphToStar: degree does not grow."""
+    def sweep():
+        return [
+            run_graph_to_wreath(graphs.make("ring", n)).metrics.max_activated_degree
+            for n in (24, 48, 96)
+        ]
+
+    degrees = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    experiment_rows(
+        "E4 GraphToWreath (Thm 4.2)",
+        {"family": "degree-vs-n", "n": "24/48/96", "rounds": str(degrees)},
+    )
+    assert max(degrees) <= 8

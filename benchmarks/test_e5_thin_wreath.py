@@ -1,0 +1,65 @@
+"""E5 — Theorem 5.1: GraphToThinWreath.
+
+Paper claim: O(log^2 n / log log n) time at polylog degree.  As
+documented (DESIGN.md note 7) the k-ary gadget alone cannot beat the
+doubling depth bound, so the reproduced shape is near-wreath time at
+polylog (k + O(1)) activated degree; the table records both algorithms
+side by side.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.core import run_graph_to_thin_wreath, run_graph_to_wreath, wreath_leader
+
+SIZES = [32, 64, 128]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e5_thin_wreath(benchmark, experiment_rows, n):
+    g = graphs.make("ring", n)
+    m = g.number_of_nodes()
+    k = max(2, math.ceil(math.log2(m)))
+    res = run_once(benchmark, run_graph_to_thin_wreath, g)
+    fg = res.final_graph()
+    root = max(g.nodes())
+    logn = math.log2(m)
+    experiment_rows(
+        "E5 GraphToThinWreath (Thm 5.1)",
+        {
+            "n": m,
+            "k": k,
+            "rounds": res.rounds,
+            "rounds/log^2": round(res.rounds / logn**2, 1),
+            "paper log^2/loglog": round(logn**2 / math.log2(logn), 0),
+            "max_act_degree": res.metrics.max_activated_degree,
+            "degree budget k+6": k + 6,
+            "tree_depth": graphs.tree_depth(fg, root),
+        },
+    )
+    assert graphs.is_kary_tree(fg, root, k)
+    assert wreath_leader(res) == root
+    assert res.metrics.max_activated_degree <= k + 6
+
+
+def test_e5_side_by_side(benchmark, experiment_rows):
+    g = graphs.make("line", 96)
+    thin = benchmark.pedantic(run_graph_to_thin_wreath, args=(g,), rounds=1, iterations=1)
+    wreath = run_graph_to_wreath(g)
+    root = max(g.nodes())
+    experiment_rows(
+        "E5 GraphToThinWreath (Thm 5.1)",
+        {
+            "n": "96 (vs wreath)",
+            "k": "-",
+            "rounds": f"thin={thin.rounds} wreath={wreath.rounds}",
+            "max_act_degree": f"thin={thin.metrics.max_activated_degree} "
+            f"wreath={wreath.metrics.max_activated_degree}",
+            "tree_depth": f"thin={graphs.tree_depth(thin.final_graph(), root)} "
+            f"wreath={graphs.tree_depth(wreath.final_graph(), root)}",
+        },
+    )
+    assert thin.rounds <= wreath.rounds * 1.5

@@ -1,0 +1,56 @@
+"""E6 — Lemmas 6.1/D.2: Omega(log n) rounds on a spanning line.
+
+The potential argument: PO starts at n-1, halves per round at best, and
+must reach log n.  CutInHalf matches the bound, and the potential replay
+verifies Observation 1 on a finished execution.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.analysis import KnowledgeReplay
+from repro.centralized import run_cut_in_half, time_lower_bound_line
+
+SIZES = [64, 256, 1024, 4096]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e6_cut_in_half_matches_lower_bound(benchmark, experiment_rows, n):
+    line = graphs.line_graph(n)
+    res = run_once(benchmark, run_cut_in_half, line)
+    lb = time_lower_bound_line(n)
+    experiment_rows(
+        "E6 time lower bound (Lemma D.2)",
+        {
+            "n": n,
+            "lower_bound_rounds": lb,
+            "cut_in_half_rounds": res.rounds,
+            "ceil(log n)": math.ceil(math.log2(n)),
+            "final_diameter": graphs.diameter(res.final_graph()),
+        },
+    )
+    assert lb <= res.rounds <= math.ceil(math.log2(n)) + 1
+
+
+def test_e6_observation1_potentials(benchmark, experiment_rows):
+    """Observation 1: a solution needs all potentials <= log n."""
+    n = 64
+    line = graphs.line_graph(n)
+    res = run_cut_in_half(line, collect_trace=True)
+    replay = KnowledgeReplay(line, res.trace)
+    benchmark.pedantic(replay.run, rounds=1, iterations=1)
+    po = replay.potential(0, n - 1)
+    experiment_rows(
+        "E6 time lower bound (Lemma D.2)",
+        {
+            "n": n,
+            "lower_bound_rounds": "-",
+            "cut_in_half_rounds": res.rounds,
+            "ceil(log n)": math.ceil(math.log2(n)),
+            "final_diameter": f"PO(ends)={po}",
+        },
+    )
+    assert po <= math.log2(n)

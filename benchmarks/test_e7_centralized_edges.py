@@ -1,0 +1,40 @@
+"""E7 — Lemmas 6.2/D.3/D.4: centralized edge-activation bounds.
+
+Any O(log n)-time centralized strategy needs >= n-1-2log n activations
+and Omega(n / log n) activations per round; CutInHalf meets both within
+constants.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.centralized import (
+    centralized_activation_lower_bound,
+    centralized_per_round_lower_bound,
+    run_cut_in_half,
+)
+
+SIZES = [64, 256, 1024, 4096]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e7_activation_bounds(benchmark, experiment_rows, n):
+    line = graphs.line_graph(n)
+    res = run_once(benchmark, run_cut_in_half, line)
+    lb = centralized_activation_lower_bound(n)
+    per_round_lb = centralized_per_round_lower_bound(n)
+    max_per_round = max(res.metrics.per_round_activations)
+    experiment_rows(
+        "E7 centralized activations (Lemmas D.3/D.4)",
+        {
+            "n": n,
+            "measured_total": res.metrics.total_activations,
+            "lower_bound": lb,
+            "upper Theta(n)": n,
+            "max_per_round": max_per_round,
+            "per_round_lb": round(per_round_lb, 1),
+        },
+    )
+    assert lb <= res.metrics.total_activations <= n
+    assert max_per_round >= per_round_lb / 2

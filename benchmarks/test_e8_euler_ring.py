@@ -1,0 +1,39 @@
+"""E8 — Theorem 6.3/D.5: centralized general graphs.
+
+Claim: any connected G_s is solved in O(log n) rounds with Theta(n)
+total activations via spanning tree -> Euler tour -> virtual ring ->
+CutInHalf.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.centralized import run_euler_ring
+
+SIZES = [64, 256, 1024]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("family", ["line", "random_tree", "gnp", "grid"])
+def test_e8_general_graphs(benchmark, experiment_rows, family, n):
+    g = graphs.make(family, n)
+    m = g.number_of_nodes()
+    res = run_once(benchmark, run_euler_ring, g)
+    experiment_rows(
+        "E8 Euler-ring centralized (Thm 6.3)",
+        {
+            "family": family,
+            "n": m,
+            "rounds": res.rounds,
+            "ceil(log 2n)": math.ceil(math.log2(2 * m)),
+            "activations": res.metrics.total_activations,
+            "Theta(n)": m,
+            "final_diameter": graphs.diameter(res.final_graph()),
+        },
+    )
+    assert res.rounds <= math.ceil(math.log2(2 * m)) + 1
+    assert res.metrics.total_activations <= 2 * m
+    assert graphs.diameter(res.final_graph()) <= 2 * math.ceil(math.log2(2 * m)) + 2

@@ -1,0 +1,46 @@
+"""E9 — Theorem 6.4/D.12: the distributed Omega(n log n) gap.
+
+On increasing-order rings, comparison-based distributed algorithms keep
+symmetric nodes in corresponding states: activating rounds activate
+Theta(n) edges at once ("live rounds"), and Omega(log n) of them are
+needed — total Omega(n log n), versus Theta(n) for the centralized
+strategy on the same instance.
+"""
+
+import math
+
+import pytest
+
+from conftest import run_once
+from repro import graphs
+from repro.analysis import live_round_profile, symmetry_ratio
+from repro.centralized import run_cut_in_half, run_euler_ring
+from repro.core import run_graph_to_star
+
+SIZES = [32, 64, 128, 256]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e9_increasing_ring_gap(benchmark, experiment_rows, n):
+    ring = graphs.increasing_along_order(graphs.increasing_order_ring(n))
+    res = run_once(benchmark, run_graph_to_star, ring, collect_trace=True)
+    central = run_euler_ring(graphs.increasing_order_ring(n))
+    profile = live_round_profile(res.trace, n)
+    experiment_rows(
+        "E9 distributed gap (Thm D.12)",
+        {
+            "n": n,
+            "distributed_acts": res.metrics.total_activations,
+            "n log n": int(n * math.log2(n)),
+            "centralized_acts": central.metrics.total_activations,
+            "Theta(n)": n,
+            "live_rounds": len(profile.live_rounds()),
+            "log n": math.ceil(math.log2(n)),
+            "symmetry": round(symmetry_ratio(res.trace, n), 2),
+        },
+    )
+    # The gap: distributed pays a log-factor more than centralized.
+    assert res.metrics.total_activations >= n * math.log2(n) / 8
+    assert central.metrics.total_activations <= 2 * n
+    assert len(profile.live_rounds()) >= math.ceil(math.log2(n)) - 2
+    assert symmetry_ratio(res.trace, n) >= 0.5

@@ -1,0 +1,74 @@
+"""Witnessing the Section 6 lower bounds.
+
+1. Potential argument (Lemma D.2): replay an execution and watch
+   PO_{u,v} shrink — it can at best halve per round.
+2. The distributed gap (Theorem D.12): on an increasing-order ring,
+   symmetric nodes act in lock step, so a distributed algorithm pays
+   Theta(n) activations in Theta(log n) separate rounds, while the
+   centralized strategy pays Theta(n) once.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+import math
+
+from repro import graphs
+from repro.analysis import (
+    KnowledgeReplay,
+    initial_potential,
+    live_round_profile,
+    print_table,
+    symmetry_ratio,
+)
+from repro.centralized import run_euler_ring
+from repro.core import run_graph_to_star
+
+
+def potential_demo(n: int = 64) -> None:
+    line = graphs.line_graph(n)
+    u, v = 0, n - 1
+    result = run_graph_to_star(line, collect_trace=True)
+    replay = KnowledgeReplay(line, result.trace)
+    rows = []
+    po = initial_potential(line, u, v)
+    for r in range(result.rounds):
+        if not replay.step():
+            break
+        if (r + 1) % 10 == 0 or r == 0:
+            po = replay.potential(u, v)
+            rows.append({"round": r + 1, "PO(ends of the line)": po})
+    print_table(rows, title=f"Potential decay on a {n}-node line (Lemma D.2)")
+    print(f"Observation 1 target: PO <= log2 n = {math.log2(n):.0f}")
+
+
+def gap_demo(n: int = 128) -> None:
+    ring = graphs.increasing_along_order(graphs.increasing_order_ring(n))
+    distributed = run_graph_to_star(ring, collect_trace=True)
+    centralized = run_euler_ring(graphs.increasing_order_ring(n))
+    profile = live_round_profile(distributed.trace, n)
+    print_table(
+        [
+            {
+                "setting": "distributed (GraphToStar)",
+                "total activations": distributed.metrics.total_activations,
+                "reference": f"n log n = {int(n * math.log2(n))}",
+            },
+            {
+                "setting": "centralized (Euler ring)",
+                "total activations": centralized.metrics.total_activations,
+                "reference": f"n = {n}",
+            },
+        ],
+        title=f"The Omega(n log n) distributed gap on an increasing-order ring (n={n})",
+    )
+    print(
+        f"\nlive rounds (>= n/4 simultaneous activations): "
+        f"{len(profile.live_rounds())} >= log2 n = {math.log2(n):.0f}; "
+        f"symmetry ratio {symmetry_ratio(distributed.trace, n):.2f} "
+        "(symmetric nodes really do act together)"
+    )
+
+
+if __name__ == "__main__":
+    potential_demo()
+    gap_demo()

@@ -1,0 +1,62 @@
+"""Scenario: repairing a degenerated peer-to-peer overlay.
+
+A long-running overlay has degenerated into a high-diameter topology
+(here: a caterpillar — a chain of relays with leaf clients).  Broadcast
+latency is proportional to the diameter.  The network *actively*
+reconfigures itself with GraphToWreath — bounded degree throughout, so
+no relay is ever overloaded — ending in a logarithmic-depth tree, and
+then measures broadcast latency before and after.
+
+Run:  python examples/overlay_repair.py
+"""
+
+from repro import graphs
+from repro.analysis import print_table
+from repro.core import run_graph_to_wreath, wreath_leader
+from repro.problems import (
+    disseminate_without_transform,
+    transform_then_disseminate,
+)
+
+
+def main() -> None:
+    overlay = graphs.random_uids(graphs.caterpillar(48, 1), seed=13)
+    n = overlay.number_of_nodes()
+    before = graphs.diameter(overlay)
+
+    composed = transform_then_disseminate(overlay, run_graph_to_wreath)
+    baseline = disseminate_without_transform(overlay)
+
+    repaired = composed.transform.final_graph()
+    root = wreath_leader(composed.transform)
+
+    print_table(
+        [
+            {
+                "metric": "diameter",
+                "degenerated overlay": before,
+                "after repair": graphs.diameter(repaired),
+            },
+            {
+                "metric": "max degree",
+                "degenerated overlay": graphs.max_degree(overlay),
+                "after repair": graphs.max_degree(repaired),
+            },
+            {
+                "metric": "broadcast rounds (all-to-all tokens)",
+                "degenerated overlay": baseline.rounds,
+                "after repair": composed.disseminate.rounds,
+            },
+        ],
+        title=f"Overlay repair on {n} nodes (coordinator = node {root})",
+    )
+    print(
+        f"\nrepair cost: {composed.transform.rounds} rounds, "
+        f"{composed.transform.metrics.total_activations} edge activations, "
+        f"max activated degree {composed.transform.metrics.max_activated_degree} "
+        "(no relay overload at any point)"
+    )
+
+
+if __name__ == "__main__":
+    main()

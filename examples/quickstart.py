@@ -1,0 +1,40 @@
+"""Quickstart: transform a network, elect a leader, inspect the costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import graphs
+from repro.analysis import print_table
+from repro.core import elected_leader, run_graph_to_star
+from repro.problems import check_depth_d_tree
+
+
+def main() -> None:
+    # An initial network: a 64-node line with randomly permuted UIDs —
+    # the paper's hardest case (diameter Theta(n)).
+    g_s = graphs.random_uids(graphs.line_graph(64), seed=7)
+
+    # GraphToStar (Section 3): O(log n) rounds, O(n log n) activations,
+    # ends in a spanning star centered at the maximum UID.
+    result = run_graph_to_star(g_s, check_connectivity=True)
+
+    leader = elected_leader(result)
+    print(f"leader elected: {leader} (max UID = {max(g_s.nodes())})")
+    print(f"Depth-1 Tree solved: {check_depth_d_tree(result, 1)}")
+
+    print_table(
+        [
+            {
+                "rounds": result.rounds,
+                "total edge activations": result.metrics.total_activations,
+                "max activated edges/round": result.metrics.max_activated_edges,
+                "max activated degree": result.metrics.max_activated_degree,
+                "final diameter": graphs.diameter(result.final_graph()),
+            }
+        ],
+        title="GraphToStar on a 64-node line",
+    )
+
+
+if __name__ == "__main__":
+    main()

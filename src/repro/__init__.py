@@ -1,0 +1,38 @@
+"""repro — a reproduction of *Distributed Computation and Reconfiguration
+in Actively Dynamic Networks* (Michail, Skretas, Spirakis; PODC 2020).
+
+Public API highlights:
+
+* :mod:`repro.engine` — the synchronous actively-dynamic-network simulator;
+* :mod:`repro.graphs` — initial-network generators and validators;
+* :mod:`repro.subroutines` — TreeToStar and Line-to-tree subroutines;
+* :mod:`repro.core` — GraphToStar, GraphToWreath, GraphToThinWreath, clique;
+* :mod:`repro.centralized` — CutInHalf and the Euler-ring strategy;
+* :mod:`repro.problems` — leader election / dissemination / Depth-d Tree;
+* :mod:`repro.analysis` — potentials, sweeps, fits, tables.
+"""
+
+from .engine import (
+    CentralizedStrategy,
+    Metrics,
+    Network,
+    NodeProgram,
+    RunResult,
+    SynchronousRunner,
+    run_centralized,
+    run_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CentralizedStrategy",
+    "Metrics",
+    "Network",
+    "NodeProgram",
+    "RunResult",
+    "SynchronousRunner",
+    "run_centralized",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Analysis tooling: potentials, symmetry, fits, sweeps, tables."""
+
+from .fitting import MODELS, best_model, fit_constant, growth_exponent
+from .potential import KnowledgeReplay, initial_potential
+from .sweep import SweepRow, measure, run_sweep
+from .symmetry import LiveRoundProfile, live_round_profile, symmetry_ratio
+from .tables import format_table, print_table
+
+__all__ = [
+    "KnowledgeReplay",
+    "LiveRoundProfile",
+    "MODELS",
+    "SweepRow",
+    "best_model",
+    "fit_constant",
+    "format_table",
+    "growth_exponent",
+    "initial_potential",
+    "live_round_profile",
+    "measure",
+    "print_table",
+    "run_sweep",
+    "symmetry_ratio",
+]

@@ -1,0 +1,57 @@
+"""Least-squares fits of measured quantities to the paper's growth models."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+MODELS: dict[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "log": lambda n: math.log2(max(2.0, n)),
+    "log^2": lambda n: math.log2(max(2.0, n)) ** 2,
+    "log^2/loglog": lambda n: math.log2(max(2.0, n)) ** 2
+    / max(1.0, math.log2(math.log2(max(4.0, n)))),
+    "n": lambda n: float(n),
+    "n log": lambda n: n * math.log2(max(2.0, n)),
+    "n log^2": lambda n: n * math.log2(max(2.0, n)) ** 2,
+    "n^2": lambda n: float(n) ** 2,
+}
+
+
+def fit_constant(ns, ys, model: str | Callable) -> tuple[float, float]:
+    """Fit ``y ≈ c * f(n)``; return ``(c, rms_relative_error)``."""
+    f = MODELS[model] if isinstance(model, str) else model
+    xs = np.array([f(n) for n in ns], dtype=float)
+    ys = np.array(ys, dtype=float)
+    denom = float(np.dot(xs, xs))
+    if denom == 0:
+        return 0.0, float("inf")
+    c = float(np.dot(xs, ys) / denom)
+    pred = c * xs
+    mask = ys != 0
+    if not mask.any():
+        return c, 0.0
+    rel = (pred[mask] - ys[mask]) / ys[mask]
+    return c, float(np.sqrt(np.mean(rel**2)))
+
+
+def best_model(ns, ys, candidates=None) -> tuple[str, float, float]:
+    """Pick the model with the smallest relative error; returns
+    ``(model_name, constant, rms_relative_error)``."""
+    names = candidates or list(MODELS)
+    best = None
+    for name in names:
+        c, err = fit_constant(ns, ys, name)
+        if best is None or err < best[2]:
+            best = (name, c, err)
+    return best
+
+
+def growth_exponent(ns, ys) -> float:
+    """Slope of log y vs log n — a quick scaling diagnostic."""
+    xs = np.log([max(2, n) for n in ns])
+    zs = np.log([max(1e-9, y) for y in ys])
+    slope, _ = np.polyfit(xs, zs, 1)
+    return float(slope)

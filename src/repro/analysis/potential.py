@@ -1,0 +1,91 @@
+"""The potential function of Definition D.1 with exact knowledge tracking.
+
+``PO_{u,v}`` is the minimum, over nodes ``w`` that know ``UID_u``, of the
+distance from ``w`` to ``v``.  Knowledge spreads one hop per round over
+active edges (messages are unrestricted).  Observation 1: a Depth-log n
+Tree solution requires ``PO_{u,v} <= log n`` for all pairs, and the two
+reduction moves (information propagation / shortest-path halving) bound
+how fast any algorithm — centralized or not — can reduce it.  This module
+replays an execution trace and measures potentials, which is how the
+lower-bound experiments (E6, E9) get their witness curves.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..engine import Network, Trace
+
+
+class KnowledgeReplay:
+    """Replays a trace, tracking which UIDs each node knows per round."""
+
+    def __init__(self, graph: nx.Graph, trace: Trace) -> None:
+        self.graph0 = graph
+        self.trace = trace
+        # knowledge[u] = set of uids u knows; everyone starts with itself.
+        self.knowledge = {u: {u} for u in graph.nodes()}
+        self.adjacency = {u: set(graph.neighbors(u)) for u in graph.nodes()}
+        self._round = 0
+
+    def step(self) -> bool:
+        """Advance one round: spread knowledge, then apply edge changes.
+
+        Matches the model's in-round ordering: messages travel over the
+        edges present at the beginning of the round.
+        """
+        if self._round >= len(self.trace):
+            return False
+        spread = {
+            u: set().union(*(self.knowledge[v] for v in nbrs), self.knowledge[u])
+            if nbrs
+            else set(self.knowledge[u])
+            for u, nbrs in self.adjacency.items()
+        }
+        self.knowledge = spread
+        record = self.trace[self._round]
+        for u, v in record.activations:
+            self.adjacency[u].add(v)
+            self.adjacency[v].add(u)
+        for u, v in record.deactivations:
+            self.adjacency[u].discard(v)
+            self.adjacency[v].discard(u)
+        self._round += 1
+        return True
+
+    def run(self) -> None:
+        while self.step():
+            pass
+
+    # -- potentials -----------------------------------------------------
+
+    def current_graph(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(self.adjacency)
+        for u, nbrs in self.adjacency.items():
+            g.add_edges_from((u, v) for v in nbrs)
+        return g
+
+    def potential(self, u, v) -> float:
+        """``PO_{u,v}`` on the current snapshot."""
+        g = self.current_graph()
+        dist_to_v = nx.single_source_shortest_path_length(g, v)
+        holders = [w for w, known in self.knowledge.items() if u in known]
+        return min((dist_to_v.get(w, float("inf")) for w in holders), default=float("inf"))
+
+    def max_pairwise_potential(self) -> float:
+        """``max_{u,v} PO_{u,v}`` — must be ``<= log n`` at a solution."""
+        g = self.current_graph()
+        worst = 0.0
+        all_dist = dict(nx.all_pairs_shortest_path_length(g))
+        for u in self.adjacency:
+            holders = [w for w, known in self.knowledge.items() if u in known]
+            for v in self.adjacency:
+                po = min(all_dist[v].get(w, float("inf")) for w in holders)
+                worst = max(worst, po)
+        return worst
+
+
+def initial_potential(graph: nx.Graph, u, v) -> int:
+    """``PO_{u,v}`` before any round: the plain graph distance."""
+    return nx.shortest_path_length(graph, u, v)

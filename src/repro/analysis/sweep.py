@@ -1,0 +1,73 @@
+"""Parameter-sweep harness: the generator of every experiment table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import networkx as nx
+
+from ..graphs import diameter, families, max_degree
+
+
+@dataclass
+class SweepRow:
+    """One measured cell of an experiment table."""
+
+    algorithm: str
+    family: str
+    n: int
+    rounds: int
+    total_activations: int
+    max_activated_edges: int
+    max_activated_degree: int
+    final_diameter: int
+    final_max_degree: int
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        base = {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "n": self.n,
+            "rounds": self.rounds,
+            "total_activations": self.total_activations,
+            "max_activated_edges": self.max_activated_edges,
+            "max_activated_degree": self.max_activated_degree,
+            "final_diameter": self.final_diameter,
+            "final_max_degree": self.final_max_degree,
+        }
+        base.update(self.extra)
+        return base
+
+
+def measure(algorithm: str, family: str, graph: nx.Graph, result) -> SweepRow:
+    """Build a row from any RunResult/CentralizedResult."""
+    final = result.final_graph()
+    return SweepRow(
+        algorithm=algorithm,
+        family=family,
+        n=graph.number_of_nodes(),
+        rounds=result.rounds,
+        total_activations=result.metrics.total_activations,
+        max_activated_edges=result.metrics.max_activated_edges,
+        max_activated_degree=result.metrics.max_activated_degree,
+        final_diameter=diameter(final),
+        final_max_degree=max_degree(final),
+    )
+
+
+def run_sweep(
+    runners: dict[str, Callable[[nx.Graph], object]],
+    family_names: list[str],
+    sizes: list[int],
+) -> list[SweepRow]:
+    """Run every algorithm on every (family, n) and collect rows."""
+    rows = []
+    for name, runner in runners.items():
+        for family in family_names:
+            for n in sizes:
+                graph = families.make(family, n)
+                result = runner(graph)
+                rows.append(measure(name, family, graph, result))
+    return rows

@@ -1,0 +1,41 @@
+"""Plain-text/markdown table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Iterable[dict], columns: list[str] | None = None) -> str:
+    """Render dict-rows as a GitHub-flavoured markdown table."""
+    rows = [r if isinstance(r, dict) else r.as_dict() for r in rows]
+    if not rows:
+        return "(no rows)"
+    cols = columns or list(rows[0])
+    widths = {c: len(c) for c in cols}
+    rendered = []
+    for row in rows:
+        cells = {c: _stringify(row.get(c, "")) for c in cols}
+        for c in cols:
+            widths[c] = max(widths[c], len(cells[c]))
+        rendered.append(cells)
+    header = "| " + " | ".join(c.ljust(widths[c]) for c in cols) + " |"
+    sep = "|" + "|".join("-" * (widths[c] + 2) for c in cols) + "|"
+    lines = [header, sep]
+    for cells in rendered:
+        lines.append("| " + " | ".join(cells[c].rjust(widths[c]) for c in cols) + " |")
+    return "\n".join(lines)
+
+
+def print_table(rows, columns=None, title: str | None = None) -> str:
+    """Format, print, and return a table (benches tee their tables)."""
+    text = format_table(rows, columns)
+    if title:
+        text = f"\n### {title}\n\n{text}"
+    print(text)
+    return text

@@ -1,0 +1,26 @@
+"""Centralized transformation strategies and bound formulas (Section 6)."""
+
+from .bounds import (
+    centralized_activation_lower_bound,
+    centralized_per_round_lower_bound,
+    clique_activation_count,
+    distributed_activation_curve,
+    log2ceil,
+    time_lower_bound_line,
+)
+from .cut_in_half import CutInHalfStrategy, run_cut_in_half
+from .euler_ring import EulerRingStrategy, euler_tour_order, run_euler_ring
+
+__all__ = [
+    "CutInHalfStrategy",
+    "EulerRingStrategy",
+    "centralized_activation_lower_bound",
+    "centralized_per_round_lower_bound",
+    "clique_activation_count",
+    "distributed_activation_curve",
+    "euler_tour_order",
+    "log2ceil",
+    "run_cut_in_half",
+    "run_euler_ring",
+    "time_lower_bound_line",
+]

@@ -1,0 +1,52 @@
+"""Closed-form reference curves from the Section 6 lower bounds.
+
+These are the quantities the benchmarks print next to measured values.
+Constants follow the paper's proofs (Lemmas D.2-D.4, Theorem D.12); the
+distributed total-activation bound is stated asymptotically in the paper,
+so its curve here is the ``n log2 n`` shape with unit constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log2ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+def time_lower_bound_line(n: int) -> int:
+    """Lemma D.2: rounds needed on a spanning line (potential argument).
+
+    The potential starts at ``n - 1``, halves per round via activations,
+    and drops by one per round via propagation; it must reach ``log2 n``.
+    Returns the smallest ``r`` with ``(n - 1) / 2^r + r >= ...`` solved
+    directly.
+    """
+    if n <= 2:
+        return 0
+    target = math.log2(n)
+    r = 0
+    while (n - 1) / (2**r) - r > target:
+        r += 1
+    return r
+
+
+def centralized_activation_lower_bound(n: int) -> int:
+    """Lemma D.3: at least ``n - 1 - 2 log2 n`` activations in O(log n) time."""
+    return max(0, n - 1 - 2 * log2ceil(n))
+
+
+def centralized_per_round_lower_bound(n: int) -> float:
+    """Lemma D.4: Omega(n / log n) activations per round."""
+    return centralized_activation_lower_bound(n) / log2ceil(n)
+
+
+def distributed_activation_curve(n: int) -> float:
+    """Theorem D.12 reference shape: ``n log2 n`` (unit constant)."""
+    return n * math.log2(max(2, n))
+
+
+def clique_activation_count(n: int) -> int:
+    """The Section 1.2 baseline pays all non-initial edges: Theta(n^2)."""
+    return n * (n - 1) // 2

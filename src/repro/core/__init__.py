@@ -1,0 +1,25 @@
+"""The paper's committee-based transformation algorithms (Sections 3-5)."""
+
+from .clique import CliqueFormationProgram, run_clique_formation
+from .graph_to_star import GraphToStarProgram, elected_leader, run_graph_to_star
+from .graph_to_wreath import (
+    GraphToWreathProgram,
+    run_graph_to_wreath,
+    wreath_leader,
+)
+from .modes import Mode
+from .thin_wreath import GraphToThinWreathProgram, run_graph_to_thin_wreath
+
+__all__ = [
+    "CliqueFormationProgram",
+    "GraphToStarProgram",
+    "GraphToThinWreathProgram",
+    "GraphToWreathProgram",
+    "Mode",
+    "elected_leader",
+    "run_clique_formation",
+    "run_graph_to_star",
+    "run_graph_to_thin_wreath",
+    "run_graph_to_wreath",
+    "wreath_leader",
+]

@@ -1,0 +1,66 @@
+"""The clique-formation baseline (Section 1.2).
+
+Every round every node activates edges to *all* of its potential
+neighbors, so neighborhoods double and a spanning clique forms in
+``O(log n)`` rounds — after which any global computation or target
+network is one round away.  The point of the paper is that this costs
+``Θ(n²)`` total activations and ``Θ(n)`` maximum degree; this module
+exists as the measured contrast for every benchmark table.
+
+Nodes know ``n`` (to detect clique completion locally) and finish by
+electing the maximum UID and optionally reconfiguring into a spanning
+star around it.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..engine import NodeProgram, RunResult, SynchronousRunner
+from ..errors import ConfigurationError
+
+
+class CliqueFormationProgram(NodeProgram):
+    """One node of the clique-formation baseline."""
+
+    def __init__(self, uid, *, to_star: bool = True) -> None:
+        super().__init__(uid)
+        self.to_star = to_star
+        self.status = None
+        self._cleanup_done = False
+
+    def transition(self, ctx, inbox) -> None:
+        if ctx.n is None:
+            raise ConfigurationError("clique baseline requires knows_n=True")
+        n = ctx.n
+        if ctx.degree < n - 1 and not self._cleanup_done:
+            potential: set = set()
+            for v in ctx.neighbors:
+                potential.update(ctx.neighbor_adjacency(v))
+            potential -= ctx.neighbors
+            potential.discard(self.uid)
+            for w in potential:
+                ctx.activate(w)
+            return
+
+        # Clique formed: every node sees every UID.
+        u_max = max(ctx.neighbors | {self.uid}) if n > 1 else self.uid
+        self.status = "leader" if self.uid == u_max else "follower"
+        if self.to_star and not self._cleanup_done and self.uid != u_max:
+            if any(len(ctx.neighbor_adjacency(v)) < n - 1 for v in ctx.neighbors):
+                return  # a neighbor is still expanding: deactivating now
+                # would make it re-activate edges next round
+            for v in ctx.neighbors:
+                if v != u_max:
+                    ctx.deactivate(v)
+            self._cleanup_done = True
+            return
+        self.halt()
+
+
+def run_clique_formation(graph: nx.Graph, *, to_star: bool = True, **kwargs) -> RunResult:
+    """Run the baseline; ends in a spanning star (or the clique itself)."""
+    kwargs.setdefault("knows_n", True)
+    return SynchronousRunner(
+        graph, lambda uid: CliqueFormationProgram(uid, to_star=to_star), **kwargs
+    ).run()

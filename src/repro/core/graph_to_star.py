@@ -1,0 +1,314 @@
+"""GraphToStar (Section 3): the edge-optimal Depth-1 Tree algorithm.
+
+Transforms any connected ``G_s`` into a spanning star centered at the
+maximum-UID node, electing it leader, in ``O(log n)`` rounds with
+``O(n log n)`` total edge activations and at most ``2n`` active edges per
+round — the optimal trade-off point of Theorem 3.8.
+
+Committees are star gadgets; each committee is led by its maximum-UID
+member, and committees repeatedly select and merge into the highest
+neighboring committee.  Modes follow the paper exactly (selection /
+merging / pulling / waiting / termination); pulling runs TreeToStar on
+the committee forest.
+
+Phases here are 5 synchronous rounds (sync / sense / report+act1 / act2 /
+observe) instead of the paper's tightest 2-round accounting — see
+DESIGN.md note 3.  Within a phase:
+
+* ``r0`` — followers refresh their committee mode from the leader;
+* ``r1`` — every node senses adjacent foreign committees (fresh modes);
+  leaders of pulling/merging committees re-validate their targets;
+* ``r2`` — followers report foreign neighbors to the leader; leaders
+  decide selections and perform the first hop (edge to a member of the
+  target committee); merging committees transfer their members; pulling
+  committees jump to their grandparent committee;
+* ``r3`` — leaders complete the selection with the leader-to-leader edge
+  (re-targeting through the gateway's fresh committee id if the target
+  merged away this phase) and drop the first-hop edge;
+* ``r4`` — outcome observation and the phase's mode transitions.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..engine import NodeProgram, RunResult, SynchronousRunner
+from .modes import Mode
+
+PHASE_LEN = 5
+
+
+class GraphToStarProgram(NodeProgram):
+    """One node of GraphToStar."""
+
+    def __init__(self, uid) -> None:
+        super().__init__(uid)
+        self.cid = uid  # committee id == leader uid
+        self.is_leader = True
+        self.mode = Mode.SELECTION
+        self.merge_target = None
+        self.parent_link = None  # pulling: the committee we point at
+        self.last_link = None  # (phase, target): leader edge activated
+        self.target_link = None  # current attachment (for child detection)
+        self.status = None  # final: "leader" / "follower"
+
+        # Per-phase scratch.
+        self._foreign: list = []
+        self._reports: list = []
+        self._act1_edge = None
+        self._act1_performed = False
+        self._selected = None
+        self._jump_target = None
+        self._defer_merge = False
+        self._foreign_exists = False
+        self._refresh_public()
+
+    # ------------------------------------------------------------------
+
+    def _refresh_public(self) -> None:
+        self._public = {
+            "cid": self.cid,
+            "is_leader": self.is_leader,
+            "mode": self.mode,
+            "merge_target": self.merge_target,
+            "last_link": self.last_link,
+            "target_link": self.target_link,
+        }
+
+    def public(self) -> dict:
+        return self._public
+
+    @staticmethod
+    def _phase_round(ctx) -> tuple[int, int]:
+        return (ctx.round - 1) // PHASE_LEN, (ctx.round - 1) % PHASE_LEN
+
+    # ------------------------------------------------------------------
+
+    def compose(self, ctx) -> dict | None:
+        phase, pr = self._phase_round(ctx)
+        if pr == 2 and not self.is_leader and self.cid in ctx.neighbors:
+            leader_mode = ctx.neighbor_public(self.cid)["mode"]
+            if leader_mode in (Mode.SELECTION, Mode.WAITING):
+                return {self.cid: ("report", self._foreign)}
+        return None
+
+    def transition(self, ctx, inbox) -> None:
+        phase, pr = self._phase_round(ctx)
+        if self.is_leader:
+            self._leader_step(ctx, inbox, phase, pr)
+        else:
+            self._follower_step(ctx, phase, pr)
+        self._refresh_public()
+
+    # ------------------------------------------------------------------
+    # follower behaviour
+    # ------------------------------------------------------------------
+
+    def _follower_step(self, ctx, phase: int, pr: int) -> None:
+        if pr == 0:
+            rec = ctx.neighbor_public(self.cid)
+            self.mode = rec["mode"]
+            self.merge_target = rec["merge_target"]
+        elif pr == 1:
+            self._sense(ctx)
+        elif pr == 2:
+            # Act on the leader's freshest state (post re-validation).
+            rec = ctx.neighbor_public(self.cid)
+            mode = rec["mode"]
+            if mode == Mode.MERGING:
+                target = rec["merge_target"]
+                ctx.activate(target)
+                if not ctx.is_original(self.cid):
+                    ctx.deactivate(self.cid)
+                self.cid = target
+                self.mode = Mode.WAITING  # refreshed from the new leader at next r0
+            elif mode == Mode.TERMINATION:
+                for v in list(ctx.neighbors):
+                    if v != self.cid:
+                        ctx.deactivate(v)
+                self.mode = Mode.TERMINATION
+        elif pr == 4:
+            if self.mode == Mode.TERMINATION:
+                self.status = "follower"
+                self.halt()
+
+    # ------------------------------------------------------------------
+    # leader behaviour
+    # ------------------------------------------------------------------
+
+    def _leader_step(self, ctx, inbox, phase: int, pr: int) -> None:
+        if pr == 0:
+            self._reports = []
+            self._act1_edge = None
+            self._act1_performed = False
+            self._selected = None
+            self._jump_target = None
+            self._defer_merge = False
+            self._foreign_exists = False
+        elif pr == 1:
+            self._sense(ctx)
+            self._revalidate(ctx, phase)
+        elif pr == 2:
+            for payload in inbox.values():
+                if payload and payload[0] == "report":
+                    self._reports.extend(payload[1])
+            self._leader_act(ctx, phase)
+        elif pr == 3:
+            self._leader_act2(ctx, phase)
+        elif pr == 4:
+            self._leader_outcome(ctx, phase)
+
+    def _sense(self, ctx) -> None:
+        foreign = []
+        for y in ctx.neighbors:
+            rec = ctx.neighbor_public(y)
+            if rec["cid"] != self.cid:
+                foreign.append((rec["cid"], rec["mode"], y, self.uid))
+        self._foreign = foreign
+        if self.is_leader:
+            self._foreign_exists = bool(foreign)
+
+    def _revalidate(self, ctx, phase: int) -> None:
+        """r1 for merging/pulling leaders: follow a dissolving target."""
+        if self.mode == Mode.MERGING:
+            rec = ctx.neighbor_public(self.merge_target)
+            if not rec["is_leader"]:
+                # My target dissolved already: follow its star edge to its
+                # new leader instead of merging into a follower.
+                self._jump_target = rec["cid"]
+                self.parent_link = self.merge_target
+                self.merge_target = None
+                self.mode = Mode.PULLING
+            elif rec["mode"] == Mode.MERGING:
+                # My target is itself dissolving: follow it instead of
+                # merging into a committee that stops existing this phase.
+                self._jump_target = rec["merge_target"]
+                self.parent_link = self.merge_target
+                self.merge_target = None
+                self.mode = Mode.PULLING
+        elif self.mode == Mode.PULLING:
+            rec = ctx.neighbor_public(self.parent_link)
+            if not rec["is_leader"]:
+                # My attachment point became a follower (it dissolved the
+                # same round I jumped to it): follow it to its leader.
+                self._jump_target = rec["cid"]
+            elif rec["mode"] == Mode.MERGING:
+                self._jump_target = rec["merge_target"]
+            elif rec["last_link"] is not None and rec["last_link"][0] == phase - 1:
+                self._jump_target = rec["last_link"][1]
+            else:
+                self._defer_merge = True
+
+    def _leader_act(self, ctx, phase: int) -> None:
+        """r2: selection decision + first hop; merging transfer; pulling jump."""
+        if self.mode == Mode.SELECTION:
+            candidates: dict = {}
+            for cid, mode, y, x in self._foreign + self._reports:
+                self._foreign_exists = True
+                if cid > self.uid and mode != Mode.PULLING:
+                    best = candidates.get(cid)
+                    # Prefer a gateway at the leader itself, then max uids.
+                    key = (x == self.uid, x, y)
+                    if best is None or key > best[0]:
+                        candidates[cid] = (key, y, x)
+            if candidates:
+                target_cid = max(candidates)
+                _, y, x = candidates[target_cid]
+                self._selected = target_cid
+                self._act1_edge = y
+                if y not in ctx.neighbors:
+                    ctx.activate(y)
+                    self._act1_performed = True
+        elif self.mode == Mode.PULLING and self._jump_target is not None:
+            target = self._jump_target
+            ctx.activate(target)
+            if self.parent_link in ctx.neighbors and not ctx.is_original(self.parent_link):
+                ctx.deactivate(self.parent_link)
+            self.parent_link = target
+            self.target_link = target
+            self.last_link = (phase, target)
+        elif self.mode == Mode.MERGING:
+            # Followers transfer themselves this same round; the leader
+            # becomes a follower of the target committee.
+            self.cid = self.merge_target
+            self.is_leader = False
+            self.mode = Mode.WAITING
+            self.merge_target = None
+            self.target_link = None
+
+    def _leader_act2(self, ctx, phase: int) -> None:
+        """r3: leader-to-leader edge, re-targeted through the gateway."""
+        if self.mode != Mode.SELECTION or self._selected is None:
+            return
+        y = self._act1_edge
+        rec = ctx.neighbor_public(y)
+        target = rec["cid"]  # fresh: follows a merge that happened at r2
+        if target != self.uid:
+            if target != y:
+                ctx.activate(target)
+            if (
+                self._act1_performed
+                and y != target
+                and not ctx.is_original(y)
+            ):
+                ctx.deactivate(y)
+            self._selected = target
+            self.target_link = target
+            self.last_link = (phase, target)
+
+    def _leader_outcome(self, ctx, phase: int) -> None:
+        """r4: the phase's mode transition."""
+        if self.mode == Mode.SELECTION:
+            if self._selected is not None:
+                rec = ctx.neighbor_public(self._selected)
+                if rec["last_link"] is not None and rec["last_link"][0] == phase:
+                    self.mode = Mode.PULLING
+                    self.parent_link = self._selected
+                else:
+                    self.mode = Mode.MERGING
+                    self.merge_target = self._selected
+            elif self._was_selected(ctx):
+                self.mode = Mode.WAITING
+            elif not self._foreign_exists:
+                self.mode = Mode.TERMINATION
+        elif self.mode == Mode.PULLING and self._defer_merge:
+            self.mode = Mode.MERGING
+            self.merge_target = self.parent_link
+            self.parent_link = None
+            self.target_link = self.merge_target
+        elif self.mode == Mode.WAITING:
+            if not self._has_children(ctx):
+                if self._foreign_exists:
+                    self.mode = Mode.SELECTION
+                else:
+                    self.mode = Mode.TERMINATION
+        elif self.mode == Mode.TERMINATION:
+            self.status = "leader"
+            self.halt()
+
+    def _was_selected(self, ctx) -> bool:
+        return self._has_children(ctx)
+
+    def _has_children(self, ctx) -> bool:
+        for v in ctx.neighbors:
+            rec = ctx.neighbor_public(v)
+            if (
+                rec["cid"] != self.cid
+                and rec["is_leader"]
+                and rec["target_link"] == self.uid
+            ):
+                return True
+        return False
+
+
+def run_graph_to_star(graph: nx.Graph, **runner_kwargs) -> RunResult:
+    """Execute GraphToStar on any connected initial network."""
+    return SynchronousRunner(graph, GraphToStarProgram, **runner_kwargs).run()
+
+
+def elected_leader(result: RunResult):
+    """UID of the node whose final status is leader."""
+    leaders = [uid for uid, p in result.programs.items() if p.status == "leader"]
+    if len(leaders) != 1:
+        raise AssertionError(f"expected exactly one leader, got {leaders}")
+    return leaders[0]

@@ -1,0 +1,633 @@
+"""GraphToWreath (Section 4): bounded-degree Depth-log n Tree.
+
+Transforms any connected bounded-degree ``G_s`` into a spanning binary
+tree of depth ``O(log n)`` rooted at the maximum-UID node, in
+``O(log² n)`` rounds with ``O(n log² n)`` total activations, ``O(n)``
+active edges per round, and **constant** maximum activated degree —
+Theorem 4.2's corner of the time/edge trade-off.
+
+Committees are *wreaths*: a spanning ring (merged with O(1) structural
+splices) plus a spanning binary tree (internal communication, diameter
+``O(log size)``).  Each phase every committee selects its maximum-UID
+neighboring committee; each tree of the selection forest merges
+**wholesale** into its root: every committee splices its ring into its
+parent's ring at its gateway, and the root's leader cuts the merged
+cycle into a line over which the asynchronous LineToCompleteBinaryTree
+subroutine rebuilds the tree component.
+
+Ring splicing follows a walk/slot formulation (DESIGN.md note 4): the
+merged cycle is the recursive Euler-style walk of the selection tree.
+A committee's walk enters at its gateway contact ``x`` and ends at
+``ring_prev(x)`` (its *walk end*).  A member ``g`` of the parent hosting
+attachments owns the *slot* after ``g`` in the walk: the chain
+``g -> x_1 -> (child_1 ring) -> e_1 -> x_2 -> ... -> e_k -> next``,
+where ``next`` is ``ring_next(g)`` — or, when ``g`` is itself the
+committee's walk end, the committee's own exit, forwarded down the
+nesting (the RESOLVE segment).  Chain edges lie at bounded distance and
+are activated with stepping stones, one hop per round.
+
+Phases are synchronized with the engine barrier (DESIGN.md note 2) and
+pass through nine fixed segments:
+
+    REPORT -> DECIDE -> REQUEST -> ASSIGN -> RESOLVE ->
+    SPLICE_A -> SPLICE_B -> REBUILD -> NEWCID
+
+Edges carry roles (original / ring / tree / transient); an edge is only
+physically deactivated when no role needs it (note 5), which is what
+keeps the activated degree constant.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..engine import NodeProgram, RunResult, SynchronousRunner
+from ..subroutines.line_to_kary import AsyncLineToKaryTreeProgram
+
+SEGMENTS = (
+    "REPORT",
+    "DECIDE",
+    "REQUEST",
+    "ASSIGN",
+    "RESOLVE",
+    "SPLICE_A",
+    "SPLICE_B",
+    "REBUILD",
+    "NEWCID",
+)
+
+
+_ASLEEP = {
+    "awake": False,
+    "ea": 0,
+    "dea": 0,
+    "parent": None,
+    "pending": None,
+    "terminated": False,
+    "settled": False,
+    "child_count": 0,
+    "full_final": False,
+    "parent_obs": None,
+    "pending_obs": None,
+    "ladder_dead": False,
+    "pending_ladder_dead": False,
+}
+
+
+class _EmbeddedCtx:
+    """Context proxy giving the embedded line-to-tree program its own
+    public namespace (nested under ``"l2t"`` in the wreath publics).
+    Neighbors outside the merge group present as permanently asleep."""
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+
+    @property
+    def round(self):
+        return self._ctx.round
+
+    @property
+    def neighbors(self):
+        return self._ctx.neighbors
+
+    def neighbor_public(self, v):
+        return self._ctx.neighbor_public(v)["l2t"] or _ASLEEP
+
+    def activate(self, v):
+        self._ctx.activate(v)
+
+    def deactivate(self, v):
+        self._ctx.deactivate(v)
+
+
+class GraphToWreathProgram(NodeProgram):
+    """One node of GraphToWreath."""
+
+    tree_arity = 2  # GraphToThinWreath raises this to ~log n
+
+    def __init__(self, uid) -> None:
+        super().__init__(uid)
+        self.cid = uid
+        self.is_leader = True
+        self.ring_next = None
+        self.ring_prev = None
+        self.tree_parent = None
+        self.tree_children: set = set()
+        self.status = None
+
+        self.segment = 0
+        self._seg_round = 0
+        self._outbox: list = []
+        self._halt_at = None
+        self._orig_neighbors: set = set()
+        self._reset_phase_state()
+        self._refresh_public()
+
+    # ------------------------------------------------------------------
+    # lifecycle / bookkeeping
+    # ------------------------------------------------------------------
+
+    def setup(self, ctx) -> None:
+        self._orig_neighbors = set(ctx.neighbors)
+
+    def _reset_phase_state(self) -> None:
+        # REPORT
+        self._local_foreign: dict = {}
+        self._agg_foreign: dict = {}
+        self._pending_report = set(self.tree_children)
+        self._sensed = False
+        self._report_sent = False
+        # DECIDE
+        self._decided = False
+        self._target_cid = None
+        self._own_gateway_x = None
+        self._is_contact = False
+        self._contact_peer = None
+        self._selected = False
+        self._participating = False
+        # REQUEST
+        self._pending_attach = set(self.tree_children)
+        self._attaches_local: list = []
+        self._attaches_agg: list = []
+        self._attach_sent = False
+        # ASSIGN / RESOLVE
+        self._slots_received = False
+        self._slot_chain = None
+        self._pending_forward = False
+        self._assignment = None  # (target_or_None, path)
+        self._await_real = False
+        self._succ = None
+        self._succ_changed = False
+        self._conn_target = None  # (target, path) for SPLICE_A
+        # SPLICE
+        self._old_ring = (self.ring_next, self.ring_prev)
+        self._stones: list = []
+        self._stones_activated: list = []
+        self._splice_step = 0
+        self._pinged = False
+        self._ping_round = None
+        self._new_prev = None
+        self._committed = False
+        # REBUILD / NEWCID
+        self._embedded: AsyncLineToKaryTreeProgram | None = None
+        self._new_root = None
+        self._tree_published = False
+        self._children_scanned = False
+        self._got_newcid = False
+
+    def _refresh_public(self) -> None:
+        self._public = {
+            "cid": self.cid,
+            "is_leader": self.is_leader,
+            "ring_next": self.ring_next,
+            "ring_prev": self.ring_prev,
+            "tree_parent": self.tree_parent,
+            "l2t": self._embedded.public() if self._embedded else None,
+        }
+
+    def public(self) -> dict:
+        return self._public
+
+    def on_barrier(self, epoch: int) -> None:
+        super().on_barrier(epoch)
+        self._seg_round = 0
+        self.segment += 1
+        if self.segment >= len(SEGMENTS):
+            self.segment = 0
+            self._reset_phase_state()
+
+    # ------------------------------------------------------------------
+    # messaging plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, dst, payload) -> None:
+        self._outbox.append((dst, payload))
+
+    def _broadcast_down(self, payload) -> None:
+        for c in self.tree_children:
+            self._send(c, payload)
+
+    def compose(self, ctx) -> dict | None:
+        if not self._outbox:
+            return None
+        out: dict = {}
+        for dst, payload in self._outbox:
+            out.setdefault(dst, []).append(payload)
+        self._outbox = []
+        return out
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def transition(self, ctx, inbox) -> None:
+        self._seg_round += 1
+        messages = [(src, m) for src, ms in inbox.items() for m in ms]
+        seg = SEGMENTS[self.segment]
+        getattr(self, f"_seg_{seg.lower()}")(ctx, messages)
+        if self._halt_at is not None and ctx.round >= self._halt_at:
+            self._refresh_public()
+            self.halt()
+            return
+        self.barrier_ready = not self._outbox and self._segment_done(ctx)
+        self._refresh_public()
+
+    def _segment_done(self, ctx) -> bool:
+        seg = SEGMENTS[self.segment]
+        return getattr(self, f"_done_{seg.lower()}")(ctx)
+
+    # ------------------------------------------------------------------
+    # REPORT
+    # ------------------------------------------------------------------
+
+    def _seg_report(self, ctx, messages) -> None:
+        if not self._sensed:
+            self._sensed = True
+            foreign: dict = {}
+            for y in ctx.neighbors:
+                rec = ctx.neighbor_public(y)
+                if rec["cid"] != self.cid:
+                    cand = (self.uid, y)
+                    if rec["cid"] not in foreign or cand > foreign[rec["cid"]]:
+                        foreign[rec["cid"]] = cand
+            self._local_foreign = foreign
+            self._agg_foreign = dict(foreign)
+        for src, m in messages:
+            if m[0] == "report":
+                for cid, cand in m[1].items():
+                    if cid not in self._agg_foreign or cand > self._agg_foreign[cid]:
+                        self._agg_foreign[cid] = cand
+                self._pending_report.discard(src)
+        if not self._pending_report and not self._report_sent:
+            self._report_sent = True
+            if not self.is_leader:
+                self._send(self.tree_parent, ("report", self._agg_foreign))
+
+    def _done_report(self, ctx) -> bool:
+        return self._report_sent
+
+    # ------------------------------------------------------------------
+    # DECIDE
+    # ------------------------------------------------------------------
+
+    def _seg_decide(self, ctx, messages) -> None:
+        decision = None
+        if self.is_leader and not self._decided:
+            higher = {c: g for c, g in self._agg_foreign.items() if c > self.uid}
+            if higher:
+                target = max(higher)
+                x, y = higher[target]
+                decision = ("decision", target, x, y)
+            elif not self._agg_foreign:
+                decision = ("terminate",)
+            else:
+                decision = ("decision", None, None, None)
+        for _src, m in messages:
+            if m[0] in ("decision", "terminate"):
+                decision = m
+        if decision is not None and not self._decided:
+            self._apply_decision(ctx, decision)
+
+    def _apply_decision(self, ctx, decision) -> None:
+        self._decided = True
+        self._broadcast_down(decision)
+        if decision[0] == "terminate":
+            self._finish(ctx)
+            return
+        _tag, target, x, y = decision
+        self._target_cid = target
+        self._selected = target is not None
+        self._own_gateway_x = x
+        if self._selected:
+            self._participating = True
+        if x == self.uid:
+            self._is_contact = True
+            self._contact_peer = y
+
+    def _finish(self, ctx) -> None:
+        """Terminate: keep only the spanning tree, set status, halt soon."""
+        keep = set(self.tree_children)
+        if self.tree_parent is not None:
+            keep.add(self.tree_parent)
+        for v in list(ctx.neighbors):
+            if v not in keep:
+                ctx.deactivate(v)
+        self.status = "leader" if self.is_leader else "follower"
+        self._halt_at = ctx.round + 1
+
+    def _done_decide(self, ctx) -> bool:
+        return self._decided
+
+    # ------------------------------------------------------------------
+    # REQUEST
+    # ------------------------------------------------------------------
+
+    def _seg_request(self, ctx, messages) -> None:
+        if self._seg_round == 1 and self._is_contact:
+            walk_end = self.ring_prev if self.ring_prev is not None else self.uid
+            self._send(self._contact_peer, ("attach", self.cid, self.uid, walk_end))
+        for src, m in messages:
+            if m[0] == "attach":
+                self._attaches_local.append((m[1], m[2], m[3]))
+                self._participating = True
+            elif m[0] == "attachlist":
+                self._attaches_agg.extend(m[1])
+                if m[1]:
+                    self._participating = True
+                self._pending_attach.discard(src)
+        if self._seg_round >= 2 and not self._pending_attach and not self._attach_sent:
+            self._attach_sent = True
+            mine = [(cid, x, we, self.uid) for cid, x, we in self._attaches_local]
+            self._attaches_agg.extend(mine)
+            if not self.is_leader:
+                self._send(self.tree_parent, ("attachlist", self._attaches_agg))
+
+    def _done_request(self, ctx) -> bool:
+        return self._attach_sent
+
+    # ------------------------------------------------------------------
+    # ASSIGN / RESOLVE: slot chains and exit assignments
+    # ------------------------------------------------------------------
+
+    def _seg_assign(self, ctx, messages) -> None:
+        if (
+            self.is_leader
+            and self._seg_round == 1
+            and (self._participating or self._selected)
+        ):
+            by_gateway: dict = {}
+            for cid, x, walk_end, g in self._attaches_agg:
+                by_gateway.setdefault(g, []).append((cid, x, walk_end))
+            for entries in by_gateway.values():
+                entries.sort()
+            msg = ("slotsall", by_gateway, self._own_gateway_x)
+            self._handle_slots(msg)
+            self._broadcast_down(msg)
+        self._common_chain_messages(ctx, messages)
+        self._resolve(ctx)
+
+    def _seg_resolve(self, ctx, messages) -> None:
+        self._common_chain_messages(ctx, messages)
+        self._resolve(ctx)
+
+    def _common_chain_messages(self, ctx, messages) -> None:
+        for src, m in messages:
+            tag = m[0]
+            if tag == "slotsall":
+                self._handle_slots(m)
+                self._broadcast_down(m)
+            elif tag == "chain" or tag == "chainfwd2":
+                _t, walk_end, nxt, path = m
+                if walk_end == self.uid:
+                    self._assignment = (nxt, path)
+                    if nxt is None:
+                        self._await_real = True
+                    else:
+                        self._await_real = False
+                else:
+                    # I am the gateway contact x; one hop to my walk end.
+                    self._send(walk_end, ("chainfwd2", walk_end, nxt, path))
+
+    def _handle_slots(self, msg) -> None:
+        _tag, by_gateway, own_gateway_x = msg
+        self._slots_received = True
+        if by_gateway:
+            # My committee is being attached to: every member is part of
+            # the merged ring and must join the rebuild.
+            self._participating = True
+        entries = by_gateway.get(self.uid)
+        if not entries:
+            return
+        self._slot_chain = entries
+        is_walk_end = own_gateway_x is not None and (
+            self.ring_next == own_gateway_x
+            or (self.ring_next is None and self.uid != own_gateway_x and False)
+        )
+        # Walk-end detection: my slot's exit is the committee exit iff my
+        # ring successor is the committee's own gateway contact.  For a
+        # singleton committee the sole node is both gateway and walk end.
+        if self.ring_next is None and own_gateway_x == self.uid:
+            is_walk_end = True
+        self._pending_forward = is_walk_end
+        self._succ = entries[0][1]
+        self._succ_changed = True
+        for i, (cid, x, walk_end) in enumerate(entries):
+            if i + 1 < len(entries):
+                nxt = entries[i + 1][1]
+            elif is_walk_end:
+                nxt = None  # exit arrives via RESOLVE
+            else:
+                nxt = self.ring_next if self.ring_next is not None else self.uid
+            self._send(x, ("chain", walk_end, nxt, [x, self.uid]))
+
+    def _resolve(self, ctx) -> None:
+        if self._assignment is None:
+            return
+        nxt, path = self._assignment
+        if nxt is None:
+            return  # waiting for the real exit (chainfwd2)
+        if self._pending_forward:
+            # My exit belongs to my slot chain's last connector.
+            cid, x_k, walk_end_k = self._slot_chain[-1]
+            self._send(x_k, ("chainfwd2", walk_end_k, nxt, [x_k, self.uid] + path))
+            self._pending_forward = False
+            self._assignment = None
+            return
+        if not self._slots_received and self._slots_expected():
+            return  # my own committee's slot map may still flip my role
+        # Plain walk-end connector.
+        self._conn_target = (nxt, path)
+        self._succ = nxt
+        self._succ_changed = True
+        self._await_real = False
+        self._assignment = None
+
+    def _slots_expected(self) -> bool:
+        # A slot map is broadcast in every committee that participates;
+        # receiving an assignment proves my committee selected, so a
+        # broadcast is on its way unless it already arrived.
+        return True
+
+    def _done_assign(self, ctx) -> bool:
+        return True
+
+    def _done_resolve(self, ctx) -> bool:
+        return (
+            self._assignment is None
+            and not self._pending_forward
+            and not self._await_real
+        )
+
+    # ------------------------------------------------------------------
+    # SPLICE_A: stepping-stone activations
+    # ------------------------------------------------------------------
+
+    def _seg_splice_a(self, ctx, messages) -> None:
+        if self._conn_target is None:
+            return
+        target, path = self._conn_target
+        if not self._stones:
+            seq = [self.uid] + list(path) + [target]
+            dedup = [seq[0]]
+            for s in seq[1:]:
+                if s != dedup[-1]:
+                    dedup.append(s)
+            self._stones = dedup[2:] if len(dedup) >= 3 else [target]
+            self._splice_step = 0
+            self._prev_stone = None
+        if self._splice_step < len(self._stones):
+            # Rolling stepping stone: activate the next anchor (legal via
+            # the previous one) and drop the previous temporary edge in the
+            # same round, keeping the transient degree O(1).
+            nxt = self._stones[self._splice_step]
+            activated_now = False
+            if nxt not in ctx.neighbors:
+                ctx.activate(nxt)
+                activated_now = True
+            if self._prev_stone is not None and self._prev_stone in ctx.neighbors:
+                ctx.deactivate(self._prev_stone)
+            self._prev_stone = nxt if activated_now and nxt != target else None
+            self._splice_step += 1
+
+    def _done_splice_a(self, ctx) -> bool:
+        return self._conn_target is None or (
+            bool(self._stones) and self._splice_step >= len(self._stones)
+        )
+
+    # ------------------------------------------------------------------
+    # SPLICE_B: commit pointers, ping predecessors, cut dead ring edges
+    # ------------------------------------------------------------------
+
+    def _seg_splice_b(self, ctx, messages) -> None:
+        for src, m in messages:
+            if m[0] == "pred":
+                self._new_prev = src
+        if not self._pinged:
+            self._pinged = True
+            self._ping_round = ctx.round
+            if self._succ is None:
+                self._succ = self.ring_next
+            if self._succ is not None:
+                self._send(self._succ, ("pred", self.uid))
+            return
+        if not self._committed and ctx.round >= self._ping_round + 2:
+            self._committed = True
+            old_next, old_prev = self._old_ring
+            if self._succ is not None:
+                self.ring_next = self._succ
+            if self._new_prev is not None:
+                self.ring_prev = self._new_prev
+            for b in (old_next, old_prev):
+                if (
+                    b is not None
+                    and b in ctx.neighbors
+                    and b not in (self.ring_next, self.ring_prev)
+                    and b not in self._orig_neighbors
+                    and b != self.tree_parent
+                    and b not in self.tree_children
+                ):
+                    ctx.deactivate(b)
+
+    def _done_splice_b(self, ctx) -> bool:
+        return self._committed
+
+    # ------------------------------------------------------------------
+    # REBUILD: rebuild the tree component over the merged ring
+    # ------------------------------------------------------------------
+
+    def _seg_rebuild(self, ctx, messages) -> None:
+        if not self._participating:
+            return
+        for src, m in messages:
+            if m[0] == "leftend" and self._embedded is not None:
+                self._embedded.line_child = None
+        if self._embedded is None:
+            self._start_rebuild(ctx)
+            return
+        self._embedded.transition(_EmbeddedCtx(ctx), {})
+
+    def _start_rebuild(self, ctx) -> None:
+        for v in list(self.tree_children) + (
+            [self.tree_parent] if self.tree_parent is not None else []
+        ):
+            if (
+                v in ctx.neighbors
+                and v not in (self.ring_next, self.ring_prev)
+                and v not in self._orig_neighbors
+            ):
+                ctx.deactivate(v)
+        self.tree_parent = None
+        self.tree_children = set()
+        is_root = self.is_leader and not self._selected
+        self._embedded = AsyncLineToKaryTreeProgram(
+            self.uid,
+            None if is_root else self.ring_next,
+            self.ring_prev,
+            k=self.tree_arity,
+            wake_round=ctx.round + 1,
+            may_deactivate=self._may_drop_tree_edge,
+        )
+        if is_root:
+            self._new_root = self.uid
+            if self.ring_next is not None:
+                self._send(self.ring_next, ("leftend",))
+
+    def _may_drop_tree_edge(self, uid, v) -> bool:
+        return v not in (self.ring_next, self.ring_prev) and v not in self._orig_neighbors
+
+    def _done_rebuild(self, ctx) -> bool:
+        if not self._participating:
+            return True
+        return self._embedded is not None and self._embedded.settled
+
+    # ------------------------------------------------------------------
+    # NEWCID: adopt the rebuilt tree and the root's committee id
+    # ------------------------------------------------------------------
+
+    def _seg_newcid(self, ctx, messages) -> None:
+        if not self._participating:
+            self._got_newcid = True
+            return
+        if not self._tree_published:
+            self._tree_published = True
+            self.tree_parent = self._embedded.parent
+            return
+        if not self._children_scanned:
+            self._children_scanned = True
+            self.tree_children = {
+                v
+                for v in ctx.neighbors
+                if (ctx.neighbor_public(v).get("l2t") or {}).get("parent") == self.uid
+            }
+        for src, m in messages:
+            if m[0] == "newcid":
+                self._adopt_newcid(m[1])
+        if self._new_root == self.uid and not self._got_newcid:
+            self._adopt_newcid(self.uid)
+
+    def _adopt_newcid(self, root) -> None:
+        if self._got_newcid:
+            return
+        self._got_newcid = True
+        self.cid = root
+        self.is_leader = root == self.uid
+        self._broadcast_down(("newcid", root))
+
+    def _done_newcid(self, ctx) -> bool:
+        return self._got_newcid
+
+
+def run_graph_to_wreath(graph: nx.Graph, **runner_kwargs) -> RunResult:
+    """Execute GraphToWreath on any connected initial network."""
+    runner_kwargs.setdefault("use_barrier", True)
+    return SynchronousRunner(graph, GraphToWreathProgram, **runner_kwargs).run()
+
+
+def wreath_leader(result: RunResult):
+    """UID of the node whose final status is leader."""
+    leaders = [uid for uid, p in result.programs.items() if p.status == "leader"]
+    if len(leaders) != 1:
+        raise AssertionError(f"expected exactly one leader, got {leaders}")
+    return leaders[0]

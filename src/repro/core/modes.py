@@ -1,0 +1,21 @@
+"""Committee modes shared by the Section 3–5 algorithms."""
+
+from enum import Enum
+
+
+class Mode(str, Enum):
+    """Execution mode of a committee (held by its leader, mirrored by
+    followers through the leader's public record)."""
+
+    SELECTION = "selection"
+    MERGING = "merging"
+    PULLING = "pulling"
+    WAITING = "waiting"
+    RING_MERGING = "ring_merging"
+    TREE_MERGING = "tree_merging"
+    MATCHMAKER = "matchmaker"
+    MATCHED = "matched"
+    TERMINATION = "termination"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Mode.{self.name}"

@@ -1,0 +1,27 @@
+"""Synchronous actively-dynamic-network simulation engine."""
+
+from .actions import RoundActions, edge_key
+from .centralized import CentralizedResult, CentralizedStrategy, run_centralized
+from .metrics import Metrics, MetricsRecorder
+from .network import Network
+from .program import Context, NodeProgram
+from .runner import RunResult, SynchronousRunner, run_program
+from .trace import RoundRecord, Trace
+
+__all__ = [
+    "CentralizedResult",
+    "CentralizedStrategy",
+    "Context",
+    "Metrics",
+    "MetricsRecorder",
+    "Network",
+    "NodeProgram",
+    "RoundActions",
+    "RoundRecord",
+    "RunResult",
+    "SynchronousRunner",
+    "Trace",
+    "edge_key",
+    "run_centralized",
+    "run_program",
+]

@@ -1,0 +1,37 @@
+"""Action records collected during a round."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def edge_key(u, v) -> tuple:
+    """Canonical undirected edge key (UIDs are comparable, usually ints)."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass
+class RoundActions:
+    """Activation/deactivation requests gathered from all nodes in a round.
+
+    Each entry is ``(actor, u, v)`` where ``actor`` is the node that issued
+    the request (usually ``actor == u``).
+    """
+
+    activations: list = field(default_factory=list)
+    deactivations: list = field(default_factory=list)
+
+    def request_activation(self, actor, u, v) -> None:
+        self.activations.append((actor, u, v))
+
+    def request_deactivation(self, actor, u, v) -> None:
+        self.deactivations.append((actor, u, v))
+
+    def activation_count_by_actor(self) -> dict:
+        counts: dict = {}
+        for actor, _, _ in self.activations:
+            counts[actor] = counts.get(actor, 0) + 1
+        return counts
+
+    def __bool__(self) -> bool:
+        return bool(self.activations or self.deactivations)

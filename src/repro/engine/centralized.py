@@ -1,0 +1,96 @@
+"""Centralized transformation strategies (Section 6 / Appendix D).
+
+A centralized strategy has full knowledge of the network and submits one
+:class:`RoundActions` batch per round.  It runs under exactly the same
+legality rules and metrics as distributed programs, which makes the
+centralized-vs-distributed comparison of Section 6 an apples-to-apples
+measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import networkx as nx
+
+from ..errors import ExecutionError
+from .actions import RoundActions
+from .metrics import Metrics, MetricsRecorder
+from .network import Network
+from .trace import RoundRecord, Trace
+
+
+class CentralizedStrategy:
+    """Base class: override :meth:`plan_round`.
+
+    ``plan_round`` inspects the live :class:`Network` (full knowledge) and
+    fills in the actions for the current round.  Return ``False`` when the
+    strategy has finished (the returned batch is still applied if non-empty).
+    """
+
+    def setup(self, network: Network) -> None:
+        """Called once before the first round."""
+
+    def plan_round(self, network: Network, actions: RoundActions) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class CentralizedResult:
+    network: Network
+    metrics: Metrics
+    trace: Trace | None
+    rounds: int
+
+    def final_graph(self) -> nx.Graph:
+        return self.network.snapshot_graph()
+
+
+def run_centralized(
+    graph: nx.Graph,
+    strategy: CentralizedStrategy,
+    *,
+    strict: bool = True,
+    check_connectivity: bool = False,
+    collect_trace: bool = False,
+    max_rounds: int = 10_000,
+) -> CentralizedResult:
+    """Execute a centralized strategy round by round."""
+    network = Network(graph)
+    strategy.setup(network)
+    recorder = MetricsRecorder(network)
+    trace = Trace() if collect_trace else None
+
+    running = True
+    while running:
+        if network.round > max_rounds:
+            raise ExecutionError(f"round limit {max_rounds} exceeded")
+        actions = RoundActions()
+        running = strategy.plan_round(network, actions)
+        if not running and not actions:
+            break
+        per_node = actions.activation_count_by_actor()
+        round_no = network.round
+        activations, deactivations = network.apply(actions, strict=strict)
+        recorder.record_round(activations, deactivations, per_node)
+        connected = network.is_connected() if check_connectivity else True
+        if trace is not None:
+            trace.append(
+                RoundRecord(
+                    round=round_no,
+                    activations=frozenset(activations),
+                    deactivations=frozenset(deactivations),
+                    active_edges=network.num_active_edges,
+                    activated_edges=len(network.activated_edges()),
+                    connected=connected,
+                )
+            )
+
+    recorder.metrics.rounds = network.round - 1
+    return CentralizedResult(
+        network=network,
+        metrics=recorder.metrics,
+        trace=trace,
+        rounds=network.round - 1,
+    )

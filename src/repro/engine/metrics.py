@@ -1,0 +1,89 @@
+"""The paper's edge-complexity measures (Section 2.2).
+
+* **total edge activations** — ``sum_i |E_ac(i)|``
+* **maximum activated edges** — ``max_i |E(i) \\ E(1)|``
+* **maximum activated degree** — ``max_i deg(D(i) \\ D(1))``
+
+The recorder is fed the effective activation/deactivation sets of every
+round and maintains the activated-only subgraph incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .network import Network
+
+
+@dataclass
+class Metrics:
+    """Aggregated measurements of one execution."""
+
+    rounds: int = 0
+    total_activations: int = 0
+    total_deactivations: int = 0
+    max_activated_edges: int = 0
+    max_activated_degree: int = 0
+    max_activations_per_round: int = 0
+    max_activations_per_node_round: int = 0
+    per_round_activations: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "total_activations": self.total_activations,
+            "total_deactivations": self.total_deactivations,
+            "max_activated_edges": self.max_activated_edges,
+            "max_activated_degree": self.max_activated_degree,
+            "max_activations_per_round": self.max_activations_per_round,
+            "max_activations_per_node_round": self.max_activations_per_node_round,
+        }
+
+
+class MetricsRecorder:
+    """Incrementally tracks the activated-only subgraph ``D(i) \\ D(1)``."""
+
+    def __init__(self, network: Network) -> None:
+        self._original = network.original_edges
+        self._activated_degree: dict = {u: 0 for u in network.nodes}
+        self._activated_now: set = set(network.activated_edges())
+        for u, v in self._activated_now:
+            self._activated_degree[u] += 1
+            self._activated_degree[v] += 1
+        self.metrics = Metrics()
+        self._observe_extremes()
+
+    def _observe_extremes(self) -> None:
+        m = self.metrics
+        m.max_activated_edges = max(m.max_activated_edges, len(self._activated_now))
+        if self._activated_degree:
+            top = max(self._activated_degree.values())
+            m.max_activated_degree = max(m.max_activated_degree, top)
+
+    def record_round(
+        self,
+        activations: set,
+        deactivations: set,
+        per_node_counts: dict | None = None,
+    ) -> None:
+        m = self.metrics
+        m.rounds += 1
+        m.total_activations += len(activations)
+        m.total_deactivations += len(deactivations)
+        m.per_round_activations.append(len(activations))
+        m.max_activations_per_round = max(m.max_activations_per_round, len(activations))
+        if per_node_counts:
+            m.max_activations_per_node_round = max(
+                m.max_activations_per_node_round, max(per_node_counts.values())
+            )
+        for e in activations:
+            if e not in self._original:
+                self._activated_now.add(e)
+                self._activated_degree[e[0]] += 1
+                self._activated_degree[e[1]] += 1
+        for e in deactivations:
+            if e in self._activated_now:
+                self._activated_now.discard(e)
+                self._activated_degree[e[0]] -= 1
+                self._activated_degree[e[1]] -= 1
+        self._observe_extremes()

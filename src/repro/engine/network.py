@@ -1,0 +1,202 @@
+"""The actively dynamic network state: nodes, active edges, legality rules.
+
+The :class:`Network` holds the snapshot ``D(i) = (V, E(i))`` of the temporal
+graph together with the distinguished original edge set ``E(1)`` and applies
+per-round action batches under the model's legality rules (Section 2.1 of the
+paper):
+
+* an edge ``uv`` may be *activated* in round ``i`` only if ``uv`` is not
+  active and some node ``w`` has both ``uw`` and ``wv`` active at the
+  beginning of the round (``v`` is a *potential neighbor* of ``u``);
+* an edge may be *deactivated* only if it is active;
+* there is at most one edge between any pair of nodes;
+* if an edge is both activated and deactivated in the same round the
+  endpoints disagree and the edge keeps its previous state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from ..errors import ConfigurationError, ProtocolViolation
+from .actions import RoundActions, edge_key
+
+
+class Network:
+    """Mutable state of an actively dynamic network.
+
+    Parameters
+    ----------
+    graph:
+        The initial network ``G_s`` as a :class:`networkx.Graph`.  Node labels
+        must be hashable; they are used directly as UIDs by the runner layer.
+    require_connected:
+        If true (the default, matching the paper's standing assumption),
+        reject a disconnected ``G_s``.
+    """
+
+    def __init__(self, graph: nx.Graph, *, require_connected: bool = True) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ConfigurationError("initial graph must have at least one node")
+        if require_connected and graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+            raise ConfigurationError("initial graph G_s must be connected")
+        self._nodes = frozenset(graph.nodes())
+        self._adj: dict[object, set] = {u: set(graph.neighbors(u)) for u in graph.nodes()}
+        self._original: frozenset = frozenset(edge_key(u, v) for u, v in graph.edges())
+        self._active: set = set(self._original)
+        self.round = 1
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        return self._nodes
+
+    @property
+    def n(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def original_edges(self) -> frozenset:
+        """The edge set ``E(1)`` of the initial network."""
+        return self._original
+
+    def neighbors(self, u) -> set:
+        """The current neighborhood ``N_1(u)`` (read-only by convention)."""
+        return self._adj[u]
+
+    def degree(self, u) -> int:
+        return len(self._adj[u])
+
+    def has_edge(self, u, v) -> bool:
+        return v in self._adj.get(u, ())
+
+    def is_original(self, u, v) -> bool:
+        return edge_key(u, v) in self._original
+
+    def edges(self) -> Iterator[tuple]:
+        return iter(self._active)
+
+    @property
+    def num_active_edges(self) -> int:
+        return len(self._active)
+
+    def activated_edges(self) -> set:
+        """``E(i) \\ E(1)``: currently active edges not in the original set."""
+        return self._active - self._original
+
+    def potential_neighbors(self, u) -> set:
+        """``N_2(u)``: nodes at distance exactly two from ``u``."""
+        direct = self._adj[u]
+        result: set = set()
+        for v in direct:
+            result.update(self._adj[v])
+        result -= direct
+        result.discard(u)
+        return result
+
+    def common_neighbor_exists(self, u, v) -> bool:
+        a, b = self._adj[u], self._adj[v]
+        if len(a) > len(b):
+            a, b = b, a
+        return any(w in b for w in a)
+
+    def snapshot_graph(self) -> nx.Graph:
+        """The current snapshot ``D(i)`` as a fresh :class:`networkx.Graph`."""
+        g = nx.Graph()
+        g.add_nodes_from(self._nodes)
+        g.add_edges_from(self._active)
+        return g
+
+    def is_connected(self) -> bool:
+        if len(self._nodes) <= 1:
+            return True
+        seen = {next(iter(self._nodes))}
+        stack = list(seen)
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # round application
+    # ------------------------------------------------------------------
+
+    def apply(self, actions: RoundActions, *, strict: bool = True) -> tuple[set, set]:
+        """Apply one round's actions and advance the round counter.
+
+        Returns ``(E_ac(i), E_dac(i))`` — the *effective* activation and
+        deactivation sets after legality filtering and conflict resolution.
+
+        With ``strict`` (the default) an illegal action raises
+        :class:`ProtocolViolation`; otherwise illegal actions are dropped
+        silently (useful for adversarial/fuzz tests).
+        """
+        activations: set = set()
+        for actor, u, v in actions.activations:
+            e = edge_key(u, v)
+            if u == v:
+                if strict:
+                    raise ProtocolViolation(f"node {actor} attempted a self-loop at {u}")
+                continue
+            if u not in self._nodes or v not in self._nodes:
+                raise ProtocolViolation(f"activation {e} references unknown node")
+            if e in self._active:
+                # Activating an already active edge has no effect (model rule).
+                continue
+            if not self.common_neighbor_exists(u, v):
+                if strict:
+                    raise ProtocolViolation(
+                        f"node {actor} activated {e} but endpoints are not at distance 2"
+                    )
+                continue
+            activations.add(e)
+
+        deactivations: set = set()
+        for actor, u, v in actions.deactivations:
+            e = edge_key(u, v)
+            if e not in self._active:
+                # Deactivating an inactive edge has no effect (model rule),
+                # unless it was activated this very round: that is a conflict
+                # handled below.
+                if e not in activations:
+                    continue
+            deactivations.add(e)
+
+        # Conflict rule: endpoints disagreeing about an edge leave it as it was.
+        conflicted = activations & deactivations
+        activations -= conflicted
+        deactivations -= conflicted
+        # A deactivation may target an edge that was only just requested for
+        # activation by the other endpoint; after conflict removal, any
+        # remaining deactivation of a non-active edge is a no-op.
+        deactivations = {e for e in deactivations if e in self._active}
+
+        for u, v in activations:
+            self._active.add((u, v))
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+        for u, v in deactivations:
+            self._active.discard((u, v))
+            self._adj[u].discard(v)
+            self._adj[v].discard(u)
+
+        self.round += 1
+        return activations, deactivations
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple], **kwargs) -> "Network":
+        g = nx.Graph()
+        g.add_edges_from(edges)
+        return cls(g, **kwargs)

@@ -1,0 +1,134 @@
+"""The node-program interface: how distributed algorithms are written.
+
+A distributed algorithm is a :class:`NodeProgram` subclass.  One instance
+runs at every node.  Each synchronous round the engine drives, for every
+node, the paper's sequence *send → receive → activate/deactivate → update*:
+
+1. :meth:`NodeProgram.compose` — build the messages to send this round
+   (may inspect the start-of-round context but not this round's inbox);
+2. :meth:`NodeProgram.transition` — receive this round's inbox, request
+   edge activations/deactivations through the context, update local state.
+
+Because the model does not restrict message sizes, the engine additionally
+broadcasts every node's *public record* (:meth:`NodeProgram.public`) and its
+adjacency list to its neighbors each round; programs read them through
+:meth:`Context.neighbor_public` and :meth:`Context.neighbor_adjacency`.
+This is the standing "send your state to your neighbors" convention
+documented in DESIGN.md (faithfulness note 1).
+"""
+
+from __future__ import annotations
+
+from ..errors import ProtocolViolation
+from .actions import RoundActions
+
+
+class Context:
+    """Per-node view of the network for one round.
+
+    All reads reflect the *beginning* of the current round; all writes
+    (activation/deactivation requests) take effect at the end of the round.
+    """
+
+    __slots__ = (
+        "uid",
+        "round",
+        "_adj",
+        "_publics",
+        "_actions",
+        "_network",
+        "n",
+        "barrier_epoch",
+    )
+
+    def __init__(self, uid, round_no, adj, publics, actions, network, n, barrier_epoch):
+        self.uid = uid
+        self.round = round_no
+        self._adj = adj
+        self._publics = publics
+        self._actions = actions
+        self._network = network
+        self.n = n
+        self.barrier_epoch = barrier_epoch
+
+    # -- reads ---------------------------------------------------------
+
+    @property
+    def neighbors(self) -> set:
+        """``N_1(uid)`` at the beginning of the round (do not mutate)."""
+        return self._adj[self.uid]
+
+    def neighbor_public(self, v) -> dict:
+        """The public record broadcast by neighbor ``v`` this round."""
+        if v not in self._adj[self.uid]:
+            raise ProtocolViolation(f"{self.uid} read public state of non-neighbor {v}")
+        return self._publics[v]
+
+    def public_of(self, v) -> dict:
+        """Unchecked public-record access (engine/analysis use only)."""
+        return self._publics[v]
+
+    def neighbor_adjacency(self, v) -> set:
+        """Neighbor ``v``'s adjacency at the beginning of the round."""
+        if v not in self._adj[self.uid]:
+            raise ProtocolViolation(f"{self.uid} read adjacency of non-neighbor {v}")
+        return self._adj[v]
+
+    def is_original(self, v, u=None) -> bool:
+        """Whether edge ``(u or uid, v)`` belongs to ``E(1)``."""
+        a = self.uid if u is None else u
+        return self._network.is_original(a, v)
+
+    @property
+    def degree(self) -> int:
+        return len(self._adj[self.uid])
+
+    # -- writes --------------------------------------------------------
+
+    def activate(self, v) -> None:
+        """Request activation of edge ``(uid, v)`` this round."""
+        self._actions.request_activation(self.uid, self.uid, v)
+
+    def deactivate(self, v) -> None:
+        """Request deactivation of edge ``(uid, v)`` this round."""
+        self._actions.request_deactivation(self.uid, self.uid, v)
+
+
+class NodeProgram:
+    """Base class for per-node algorithm code.
+
+    Subclasses override :meth:`setup`, :meth:`compose`, :meth:`transition`,
+    and :meth:`public`.  Set :attr:`halted` when the node has terminated and
+    :attr:`barrier_ready` when the node has finished the current global
+    segment (barrier-synchronized algorithms only; see DESIGN.md note 2).
+    """
+
+    def __init__(self, uid) -> None:
+        self.uid = uid
+        self.halted = False
+        self.barrier_ready = False
+
+    # -- lifecycle hooks -------------------------------------------------
+
+    def setup(self, ctx: Context) -> None:
+        """Called once before round 1 with a read-only context."""
+
+    def compose(self, ctx: Context) -> dict | None:
+        """Return ``{neighbor_uid: payload}`` messages for this round."""
+        return None
+
+    def transition(self, ctx: Context, inbox: dict) -> None:
+        """Receive ``inbox`` (``{sender_uid: payload}``), act, update state."""
+
+    def public(self) -> dict:
+        """The record broadcast to neighbors each round (may be shared)."""
+        return {}
+
+    def on_barrier(self, epoch: int) -> None:
+        """Called when a global barrier fires; reset :attr:`barrier_ready`."""
+        self.barrier_ready = False
+
+    # -- conveniences ------------------------------------------------------
+
+    def halt(self) -> None:
+        self.halted = True

@@ -1,0 +1,207 @@
+"""The synchronous round executor for distributed node programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import networkx as nx
+
+from ..errors import ConfigurationError, ExecutionError, ProtocolViolation
+from .actions import RoundActions
+from .metrics import Metrics, MetricsRecorder
+from .network import Network
+from .program import Context, NodeProgram
+from .trace import RoundRecord, Trace
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one execution."""
+
+    network: Network
+    programs: Mapping
+    metrics: Metrics
+    trace: Trace | None
+    rounds: int
+    barrier_epochs: int
+
+    def program(self, uid) -> NodeProgram:
+        return self.programs[uid]
+
+    def final_graph(self) -> nx.Graph:
+        return self.network.snapshot_graph()
+
+
+class SynchronousRunner:
+    """Drives node programs through synchronous rounds.
+
+    Parameters
+    ----------
+    graph:
+        The initial network ``G_s``.
+    program_factory:
+        Callable ``uid -> NodeProgram`` building each node's program.
+    knows_n:
+        Expose ``n`` to programs through the context (the paper assumes this
+        for GraphToThinWreath; see DESIGN.md note 6).
+    use_barrier:
+        Enable the global segment barrier (DESIGN.md note 2): when every
+        program has ``barrier_ready`` set at the end of a round, the barrier
+        epoch is advanced and each program's ``on_barrier`` hook runs.
+    check_connectivity:
+        Verify after every round that the active graph stays connected
+        (our algorithms never break connectivity); adds O(n + m) per round.
+    strict:
+        Raise :class:`ProtocolViolation` on illegal actions instead of
+        dropping them.
+    collect_trace:
+        Record a per-round :class:`Trace`.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        program_factory: Callable,
+        *,
+        knows_n: bool = False,
+        use_barrier: bool = False,
+        check_connectivity: bool = False,
+        strict: bool = True,
+        collect_trace: bool = False,
+        max_rounds: int | None = None,
+    ) -> None:
+        self.network = Network(graph)
+        self.programs: dict = {uid: program_factory(uid) for uid in self.network.nodes}
+        for uid, prog in self.programs.items():
+            if prog.uid != uid:
+                raise ConfigurationError(f"program for node {uid} reports uid {prog.uid}")
+        self.knows_n = knows_n
+        self.use_barrier = use_barrier
+        self.check_connectivity = check_connectivity
+        self.strict = strict
+        self.collect_trace = collect_trace
+        self.max_rounds = max_rounds
+        self.barrier_epoch = 0
+
+    # ------------------------------------------------------------------
+
+    def _make_context(self, uid, actions: RoundActions, publics: dict) -> Context:
+        net = self.network
+        return Context(
+            uid=uid,
+            round_no=net.round,
+            adj=net._adj,
+            publics=publics,
+            actions=actions,
+            network=net,
+            n=net.n if self.knows_n else None,
+            barrier_epoch=self.barrier_epoch,
+        )
+
+    def run(self) -> RunResult:
+        net = self.network
+        programs = self.programs
+        limit = self.max_rounds if self.max_rounds is not None else _default_round_limit(net.n)
+        trace = Trace() if self.collect_trace else None
+
+        # Setup hooks (before round 1), read-only contexts.
+        setup_actions = RoundActions()
+        publics = {uid: prog.public() for uid, prog in programs.items()}
+        for uid, prog in programs.items():
+            prog.setup(self._make_context(uid, setup_actions, publics))
+        if setup_actions:
+            raise ProtocolViolation("setup() must not request edge actions")
+
+        recorder = MetricsRecorder(net)
+        while not all(p.halted for p in programs.values()):
+            if net.round > limit:
+                raise ExecutionError(
+                    f"round limit {limit} exceeded; "
+                    f"{sum(1 for p in programs.values() if not p.halted)} nodes still running"
+                )
+            self._run_round(recorder, trace)
+
+        recorder.metrics.rounds = net.round - 1
+        return RunResult(
+            network=net,
+            programs=programs,
+            metrics=recorder.metrics,
+            trace=trace,
+            rounds=net.round - 1,
+            barrier_epochs=self.barrier_epoch,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_round(self, recorder: MetricsRecorder, trace: Trace | None) -> None:
+        net = self.network
+        programs = self.programs
+        actions = RoundActions()
+
+        # Beginning-of-round snapshot of public records.
+        publics = {uid: prog.public() for uid, prog in programs.items()}
+        contexts = {uid: self._make_context(uid, actions, publics) for uid in programs}
+
+        # 1. Send.
+        inboxes: dict = {uid: {} for uid in programs}
+        for uid, prog in programs.items():
+            if prog.halted:
+                continue
+            out = prog.compose(contexts[uid])
+            if not out:
+                continue
+            sendable = net.neighbors(uid)
+            for dst, payload in out.items():
+                if dst not in sendable:
+                    raise ProtocolViolation(f"{uid} sent a message to non-neighbor {dst}")
+                inboxes[dst][uid] = payload
+
+        # 2. Receive + 3./4. activate/deactivate + 5. update state.
+        for uid, prog in programs.items():
+            if prog.halted:
+                continue
+            prog.transition(contexts[uid], inboxes[uid])
+
+        per_node = actions.activation_count_by_actor()
+        round_no = net.round
+        activations, deactivations = net.apply(actions, strict=self.strict)
+        recorder.record_round(activations, deactivations, per_node)
+
+        connected = net.is_connected() if self.check_connectivity else True
+        if self.check_connectivity and not connected:
+            raise ProtocolViolation(f"round {round_no} broke connectivity")
+
+        if trace is not None:
+            trace.append(
+                RoundRecord(
+                    round=round_no,
+                    activations=frozenset(activations),
+                    deactivations=frozenset(deactivations),
+                    active_edges=net.num_active_edges,
+                    activated_edges=len(net.activated_edges()),
+                    connected=connected,
+                )
+            )
+
+        # Global segment barrier (DESIGN.md note 2).
+        if self.use_barrier and all(
+            p.barrier_ready or p.halted for p in programs.values()
+        ) and any(not p.halted for p in programs.values()):
+            self.barrier_epoch += 1
+            for prog in programs.values():
+                if not prog.halted:
+                    prog.on_barrier(self.barrier_epoch)
+
+
+def _default_round_limit(n: int) -> int:
+    """A generous default: far above any of our algorithms' bounds."""
+    import math
+
+    logn = max(1, math.ceil(math.log2(max(2, n))))
+    return 200 * logn * logn + 500
+
+
+def run_program(graph: nx.Graph, program_factory: Callable, **kwargs) -> RunResult:
+    """One-shot convenience wrapper around :class:`SynchronousRunner`."""
+    return SynchronousRunner(graph, program_factory, **kwargs).run()

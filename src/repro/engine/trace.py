@@ -1,0 +1,43 @@
+"""Optional per-round execution traces for analysis and debugging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in a single round."""
+
+    round: int
+    activations: frozenset
+    deactivations: frozenset
+    active_edges: int
+    activated_edges: int
+    connected: bool
+
+
+@dataclass
+class Trace:
+    """A list of :class:`RoundRecord` collected during a run."""
+
+    records: list = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    def rounds_with_activations(self) -> list:
+        """Rounds in which at least one edge was activated."""
+        return [r.round for r in self.records if r.activations]
+
+    def all_connected(self) -> bool:
+        return all(r.connected for r in self.records)

@@ -1,0 +1,22 @@
+"""Exception types shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProtocolViolation(ReproError):
+    """An algorithm attempted an action the model forbids.
+
+    Examples: activating an edge whose endpoints are not at distance 2,
+    sending a message to a non-neighbor, or deactivating an edge that is
+    not active.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid input to a generator, algorithm, or runner."""
+
+
+class ExecutionError(ReproError):
+    """The simulation could not make progress (e.g. round limit hit)."""

@@ -1,0 +1,205 @@
+"""Initial-network generators for experiments and tests.
+
+All generators return :class:`networkx.Graph` objects whose integer node
+labels double as UIDs.  Structural positions are generated with canonical
+labels ``0..n-1`` first; UID schemes from :mod:`repro.graphs.uids` can then
+permute them.  Generators that embed orientation or geometry record it in
+``graph.graph`` metadata (e.g. ``graph.graph["order"]`` for lines/rings).
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+
+
+def line_graph(n: int) -> nx.Graph:
+    """A spanning line ``0 - 1 - ... - n-1`` (the paper's hardest G_s)."""
+    _require_positive(n)
+    g = nx.path_graph(n)
+    g.graph["order"] = list(range(n))
+    g.graph["kind"] = "line"
+    return g
+
+
+def ring_graph(n: int) -> nx.Graph:
+    """A ring ``0 - 1 - ... - n-1 - 0``."""
+    if n < 3:
+        raise ConfigurationError(f"a ring needs n >= 3, got {n}")
+    g = nx.cycle_graph(n)
+    g.graph["order"] = list(range(n))
+    g.graph["kind"] = "ring"
+    return g
+
+
+def increasing_order_ring(n: int) -> nx.Graph:
+    """The increasing-order ring of Definition D.8.
+
+    UIDs are assigned in increasing order clockwise starting from an
+    arbitrary node; with canonical labels this is exactly
+    :func:`ring_graph`, so the definition is explicit in the name.
+    """
+    return ring_graph(n)
+
+
+def star_graph(n: int, center: int | None = None) -> nx.Graph:
+    """A spanning star on ``n`` nodes; ``center`` defaults to ``n - 1``."""
+    _require_positive(n)
+    c = (n - 1) if center is None else center
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from((c, v) for v in range(n) if v != c)
+    g.graph["center"] = c
+    g.graph["kind"] = "star"
+    return g
+
+
+def complete_binary_tree(n: int) -> nx.Graph:
+    """A complete binary tree on ``n`` nodes (heap numbering, root 0)."""
+    _require_positive(n)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for v in range(1, n):
+        g.add_edge(v, (v - 1) // 2)
+    g.graph["root"] = 0
+    g.graph["kind"] = "cbt"
+    return g
+
+
+def random_tree(n: int, seed: int = 0) -> nx.Graph:
+    """A uniformly random labelled tree (Prüfer sequence)."""
+    _require_positive(n)
+    if n <= 2:
+        return line_graph(n)
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    g = nx.from_prufer_sequence(prufer)
+    g.graph["kind"] = "random_tree"
+    return g
+
+
+def random_connected_gnp(n: int, p: float | None = None, seed: int = 0) -> nx.Graph:
+    """A connected Erdős–Rényi graph; retries until connected.
+
+    ``p`` defaults to slightly above the connectivity threshold.
+    """
+    _require_positive(n)
+    if n == 1:
+        g = nx.Graph()
+        g.add_node(0)
+        return g
+    import math
+
+    if p is None:
+        p = min(1.0, 2.2 * math.log(max(2, n)) / n)
+    for attempt in range(60):
+        g = nx.gnp_random_graph(n, p, seed=seed + attempt)
+        if nx.is_connected(g):
+            g.graph["kind"] = "gnp"
+            return g
+    # Fall back: connect components along a random spanning chain.
+    comps = [list(c) for c in nx.connected_components(g)]
+    rng = random.Random(seed)
+    for a, b in zip(comps, comps[1:]):
+        g.add_edge(rng.choice(a), rng.choice(b))
+    g.graph["kind"] = "gnp"
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A 2-D grid with integer labels ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid dimensions must be >= 1")
+    g = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_node(v)
+            if r > 0:
+                g.add_edge(v, (r - 1) * cols + c)
+            if c > 0:
+                g.add_edge(v, r * cols + c - 1)
+    g.graph["kind"] = "grid"
+    return g
+
+
+def random_regular(n: int, d: int = 3, seed: int = 0) -> nx.Graph:
+    """A connected random ``d``-regular graph."""
+    if n <= d:
+        raise ConfigurationError("need n > d for a d-regular graph")
+    for attempt in range(60):
+        g = nx.random_regular_graph(d, n, seed=seed + attempt)
+        if nx.is_connected(g):
+            g.graph["kind"] = "regular"
+            return g
+    raise ConfigurationError(f"could not generate a connected {d}-regular graph on {n} nodes")
+
+
+def caterpillar(spine: int, legs_per_node: int = 1) -> nx.Graph:
+    """A caterpillar: a spine path with pendant legs (bounded degree)."""
+    _require_positive(spine)
+    g = nx.path_graph(spine)
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(s, nxt)
+            nxt += 1
+    g.graph["kind"] = "caterpillar"
+    return g
+
+
+def lollipop(clique: int, tail: int) -> nx.Graph:
+    """A clique with a path tail: mixes dense and deep regions."""
+    if clique < 2 or tail < 1:
+        raise ConfigurationError("need clique >= 2 and tail >= 1")
+    g = nx.complete_graph(clique)
+    prev = 0
+    for i in range(tail):
+        v = clique + i
+        g.add_edge(prev, v)
+        prev = v
+    g.graph["kind"] = "lollipop"
+    return g
+
+
+def barbell(clique: int, path: int) -> nx.Graph:
+    """Two cliques joined by a path."""
+    if clique < 2:
+        raise ConfigurationError("need clique >= 2")
+    g = nx.barbell_graph(clique, path)
+    g.graph["kind"] = "barbell"
+    return g
+
+
+def hypercube(dim: int) -> nx.Graph:
+    """A ``dim``-dimensional hypercube (2**dim nodes, degree dim)."""
+    if dim < 1:
+        raise ConfigurationError("need dim >= 1")
+    g = nx.convert_node_labels_to_integers(nx.hypercube_graph(dim))
+    g.graph["kind"] = "hypercube"
+    return g
+
+
+def binary_tree_with_path(tree_depth: int, path_len: int) -> nx.Graph:
+    """A complete binary tree with a long path hanging off one leaf.
+
+    Mixes logarithmic and linear diameter regions; a good adversarial case
+    for committee algorithms.
+    """
+    size = 2 ** (tree_depth + 1) - 1
+    g = complete_binary_tree(size)
+    prev = size - 1  # a leaf in heap numbering
+    for i in range(path_len):
+        v = size + i
+        g.add_edge(prev, v)
+        prev = v
+    g.graph["kind"] = "tree_with_path"
+    return g

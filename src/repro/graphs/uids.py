@@ -1,0 +1,80 @@
+"""UID assignment schemes.
+
+Structural generators label nodes ``0..n-1``.  The schemes here relabel
+graphs so that UID order interacts with structure in controlled ways:
+randomly (the default experimental setting), adversarially (maximum UID
+far from everything), or monotonically (the increasing-order rings of the
+Section 6 lower bound).
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+
+
+def relabel(graph: nx.Graph, mapping: dict) -> nx.Graph:
+    """Relabel, preserving and translating metadata such as ``order``."""
+    g = nx.relabel_nodes(graph, mapping, copy=True)
+    if "order" in graph.graph:
+        g.graph["order"] = [mapping[v] for v in graph.graph["order"]]
+    if "center" in graph.graph:
+        g.graph["center"] = mapping[graph.graph["center"]]
+    if "root" in graph.graph:
+        g.graph["root"] = mapping[graph.graph["root"]]
+    return g
+
+
+def identity_uids(graph: nx.Graph) -> nx.Graph:
+    """Keep canonical labels (UID = structural position)."""
+    return graph
+
+
+def random_uids(graph: nx.Graph, seed: int = 0, *, spread: int = 1) -> nx.Graph:
+    """Assign a random permutation of ``0..n-1`` (optionally spaced out).
+
+    ``spread > 1`` multiplies UIDs to create a sparse namespace, which
+    exercises comparison-based code against non-contiguous UIDs.
+    """
+    nodes = sorted(graph.nodes())
+    rng = random.Random(seed)
+    shuffled = nodes[:]
+    rng.shuffle(shuffled)
+    mapping = {v: spread * s for v, s in zip(nodes, shuffled)}
+    return relabel(graph, mapping)
+
+
+def adversarial_max_far(graph: nx.Graph, seed: int = 0) -> nx.Graph:
+    """Place the maximum UID at a node of maximum eccentricity.
+
+    The committee algorithms elect the maximum UID; placing it as far as
+    possible from the rest maximizes information-propagation distance.
+    """
+    nodes = sorted(graph.nodes())
+    n = len(nodes)
+    if n == 1:
+        return graph
+    ecc = nx.eccentricity(graph)
+    far_node = max(ecc, key=lambda v: (ecc[v], v))
+    rng = random.Random(seed)
+    rest = [v for v in nodes if v != far_node]
+    rng.shuffle(rest)
+    mapping = {far_node: n - 1}
+    mapping.update({v: i for i, v in enumerate(rest)})
+    return relabel(graph, mapping)
+
+
+def increasing_along_order(graph: nx.Graph) -> nx.Graph:
+    """UIDs increase along the generator's recorded structural order.
+
+    Requires ``graph.graph['order']`` (lines and rings record it); this is
+    how the increasing-order rings of Definition D.8 are produced.
+    """
+    order = graph.graph.get("order")
+    if order is None:
+        raise ConfigurationError("graph has no recorded structural order")
+    mapping = {v: i for i, v in enumerate(order)}
+    return relabel(graph, mapping)

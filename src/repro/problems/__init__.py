@@ -1,0 +1,36 @@
+"""The paper's distributed tasks: leader election, token dissemination,
+Depth-d Tree, and transform-then-compute composition."""
+
+from .composition import (
+    CompositionResult,
+    disseminate_without_transform,
+    transform_then_disseminate,
+)
+from .depth_tree import check_depth_d_tree, check_depth_log_tree, final_tree_depth
+from .leader_election import (
+    elected_uid,
+    is_leader_election_solved,
+    leader_is_max_uid,
+    leader_statuses,
+)
+from .token_dissemination import (
+    FloodTokensProgram,
+    is_dissemination_complete,
+    run_token_dissemination,
+)
+
+__all__ = [
+    "CompositionResult",
+    "FloodTokensProgram",
+    "check_depth_d_tree",
+    "check_depth_log_tree",
+    "disseminate_without_transform",
+    "elected_uid",
+    "final_tree_depth",
+    "is_dissemination_complete",
+    "is_leader_election_solved",
+    "leader_is_max_uid",
+    "leader_statuses",
+    "run_token_dissemination",
+    "transform_then_disseminate",
+]

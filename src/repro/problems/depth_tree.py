@@ -1,0 +1,34 @@
+"""The Depth-d Tree problem (Section 2.2): target checkers."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from ..engine import RunResult
+from ..graphs.validate import is_depth_d_tree, is_spanning_tree, tree_depth
+from .leader_election import elected_uid, is_leader_election_solved
+
+
+def check_depth_d_tree(result: RunResult, d: int) -> bool:
+    """Final graph is a depth-``d`` spanning tree rooted at the unique leader."""
+    if not is_leader_election_solved(result):
+        return False
+    root = elected_uid(result)
+    return is_depth_d_tree(result.final_graph(), root, d)
+
+
+def check_depth_log_tree(result: RunResult, c: float = 2.0, slack: int = 2) -> bool:
+    """Depth-log n Tree with a ``c * ceil(log2 n) + slack`` depth budget."""
+    n = len(result.programs)
+    d = int(c * math.ceil(math.log2(max(2, n)))) + slack
+    return check_depth_d_tree(result, d)
+
+
+def final_tree_depth(result: RunResult) -> int:
+    """Depth of the final spanning tree below the elected leader."""
+    graph = result.final_graph()
+    if not is_spanning_tree(graph):
+        raise AssertionError("final graph is not a spanning tree")
+    return tree_depth(graph, elected_uid(result))

@@ -1,0 +1,33 @@
+"""Leader election (Section 2.2): checkers over finished executions."""
+
+from __future__ import annotations
+
+from ..engine import RunResult
+
+
+def leader_statuses(result: RunResult) -> dict:
+    """Map uid -> final status string (``"leader"``/``"follower"``/None)."""
+    return {uid: getattr(p, "status", None) for uid, p in result.programs.items()}
+
+
+def is_leader_election_solved(result: RunResult) -> bool:
+    """Exactly one leader, everyone else a follower, all terminated."""
+    statuses = list(leader_statuses(result).values())
+    return (
+        statuses.count("leader") == 1
+        and statuses.count("follower") == len(statuses) - 1
+        and all(p.halted for p in result.programs.values())
+    )
+
+
+def elected_uid(result: RunResult):
+    """UID of the unique leader (raises if election is unsolved)."""
+    leaders = [u for u, s in leader_statuses(result).items() if s == "leader"]
+    if len(leaders) != 1:
+        raise AssertionError(f"leader election unsolved: leaders={leaders}")
+    return leaders[0]
+
+
+def leader_is_max_uid(result: RunResult) -> bool:
+    """All paper algorithms elect the maximum UID."""
+    return elected_uid(result) == max(result.programs)

@@ -1,0 +1,62 @@
+"""Token dissemination (Section 2.2).
+
+Every node starts with a unique token (its UID, w.l.o.g. per the paper)
+and must learn every other node's token.  The flooding program below
+works on any static network by broadcasting newly learned tokens each
+round; on a diameter-``d`` network it needs ``Θ(d)`` rounds, which is
+exactly why the paper first reconfigures to (poly)log diameter.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..engine import NodeProgram, RunResult, SynchronousRunner
+from ..errors import ConfigurationError
+
+
+class FloodTokensProgram(NodeProgram):
+    """Broadcast newly learned tokens to all neighbors every round.
+
+    Termination: with ``knows_n`` every node halts once it holds ``n``
+    tokens *and* all neighbors do too (so late neighbors still receive
+    what they are missing).
+    """
+
+    def __init__(self, uid) -> None:
+        super().__init__(uid)
+        self.tokens = {uid}
+        self._fresh = {uid}
+
+    def public(self) -> dict:
+        return {"count": len(self.tokens)}
+
+    def compose(self, ctx) -> dict | None:
+        if not self._fresh:
+            return None
+        payload = frozenset(self._fresh)
+        return {v: payload for v in ctx.neighbors}
+
+    def transition(self, ctx, inbox) -> None:
+        if ctx.n is None:
+            raise ConfigurationError("token dissemination requires knows_n=True")
+        self._fresh = set()
+        for payload in inbox.values():
+            self._fresh.update(payload - self.tokens)
+        self.tokens.update(self._fresh)
+        if len(self.tokens) == ctx.n and not self._fresh:
+            if all(
+                ctx.neighbor_public(v)["count"] == ctx.n for v in ctx.neighbors
+            ):
+                self.halt()
+
+
+def run_token_dissemination(graph: nx.Graph, **kwargs) -> RunResult:
+    """Flood tokens over a static network until everyone has all of them."""
+    kwargs.setdefault("knows_n", True)
+    return SynchronousRunner(graph, FloodTokensProgram, **kwargs).run()
+
+
+def is_dissemination_complete(result: RunResult) -> bool:
+    n = len(result.programs)
+    return all(len(p.tokens) == n for p in result.programs.values())

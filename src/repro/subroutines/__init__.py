@@ -1,0 +1,21 @@
+"""Basic transformation subroutines (Section 2.3 and the appendices)."""
+
+from .line_to_kary import (
+    AsyncLineToKaryTreeProgram,
+    final_parent_map,
+    line_order_from_graph,
+    run_line_to_cbt,
+    run_line_to_kary_tree,
+)
+from .tree_to_star import TreeToStarProgram, parents_from_root, run_tree_to_star
+
+__all__ = [
+    "AsyncLineToKaryTreeProgram",
+    "TreeToStarProgram",
+    "final_parent_map",
+    "line_order_from_graph",
+    "parents_from_root",
+    "run_line_to_cbt",
+    "run_line_to_kary_tree",
+    "run_tree_to_star",
+]

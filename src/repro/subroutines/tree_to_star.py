@@ -1,0 +1,84 @@
+"""TreeToStar (Proposition 2.1).
+
+Transforms any rooted tree with a sense of orientation into a spanning star
+centered at the root in ``O(log d)`` rounds, where ``d`` is the tree depth.
+Every round, every node whose parent is not the root activates an edge to
+its grandparent and deactivates the edge to its parent — simultaneous
+pointer halving.  Legality: the grandparent is at distance exactly 2 via the
+parent at the beginning of the round.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..engine import NodeProgram, RunResult, SynchronousRunner
+from ..errors import ConfigurationError
+
+
+class TreeToStarProgram(NodeProgram):
+    """One node of TreeToStar.
+
+    Parameters
+    ----------
+    uid:
+        This node's UID.
+    parent:
+        UID of the initial parent, or ``None`` for the root (the node that
+        will become the star center).
+    """
+
+    def __init__(self, uid, parent) -> None:
+        super().__init__(uid)
+        self.parent = parent
+        self.is_root = parent is None
+        self._public = {"parent": parent, "is_root": self.is_root}
+
+    def public(self) -> dict:
+        return self._public
+
+    def transition(self, ctx, inbox) -> None:
+        if self.is_root:
+            # The center is passive; it halts immediately and keeps
+            # broadcasting its public record.
+            self.halt()
+            return
+        parent_record = ctx.neighbor_public(self.parent)
+        if parent_record["is_root"]:
+            # Attached to the root: final position reached.
+            self.halt()
+            return
+        grandparent = parent_record["parent"]
+        ctx.activate(grandparent)
+        ctx.deactivate(self.parent)
+        self.parent = grandparent
+        self._public = {"parent": grandparent, "is_root": False}
+
+
+def parents_from_root(tree: nx.Graph, root) -> dict:
+    """BFS parent map providing the paper's "sense of orientation"."""
+    if root not in tree:
+        raise ConfigurationError(f"root {root} not in tree")
+    parents = {root: None}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in tree.neighbors(u):
+                if v not in parents:
+                    parents[v] = u
+                    nxt.append(v)
+        frontier = nxt
+    if len(parents) != tree.number_of_nodes():
+        raise ConfigurationError("tree is not connected")
+    return parents
+
+
+def run_tree_to_star(tree: nx.Graph, root, **runner_kwargs) -> RunResult:
+    """Execute TreeToStar on ``tree`` rooted at ``root``."""
+    if tree.number_of_edges() != tree.number_of_nodes() - 1:
+        raise ConfigurationError("TreeToStar requires a tree input")
+    parents = parents_from_root(tree, root)
+    return SynchronousRunner(
+        tree, lambda uid: TreeToStarProgram(uid, parents[uid]), **runner_kwargs
+    ).run()

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in ALGORITHMS:
+            assert key in out
+
+    def test_default_run(self, capsys):
+        assert main(["--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "GraphToStar" in out
+        assert "total_activations" in out
+
+    @pytest.mark.parametrize("algo", ["wreath", "euler", "clique"])
+    def test_each_algorithm(self, capsys, algo):
+        assert main(["-a", algo, "-f", "ring", "--n", "16"]) == 0
+        assert "rounds" in capsys.readouterr().out
+
+    def test_trace_output(self, capsys):
+        assert main(["-a", "star", "--n", "12", "--trace"]) == 0
+        assert "activity" in capsys.readouterr().out
+
+    def test_connectivity_flag(self, capsys):
+        assert main(["-a", "star", "--n", "12", "--check-connectivity"]) == 0
+
+    def test_cut_in_half_on_line(self, capsys):
+        assert main(["-a", "cut-in-half", "-f", "line", "--n", "32"]) == 0
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["-a", "nope"])

@@ -1,0 +1,59 @@
+"""Tests for the clique-formation baseline (Section 1.2)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.core import run_clique_formation
+from repro.errors import ConfigurationError
+
+
+class TestCliqueBaseline:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8, 16, 40])
+    def test_star_output_and_leader(self, n):
+        g = graphs.random_uids(graphs.line_graph(n), seed=n)
+        res = run_clique_formation(g)
+        u_max = max(g.nodes())
+        if n > 1:
+            assert graphs.is_spanning_star(
+                res.final_graph(), center=u_max if n > 2 else None
+            )
+        statuses = [p.status for p in res.programs.values()]
+        assert statuses.count("leader") == 1
+        assert res.program(u_max).status == "leader"
+
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_logarithmic_rounds(self, n):
+        g = graphs.line_graph(n)
+        res = run_clique_formation(g)
+        assert res.rounds <= math.ceil(math.log2(n)) + 4
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_quadratic_activations(self, n):
+        """The whole point of the paper: the baseline pays Theta(n^2)."""
+        g = graphs.line_graph(n)
+        res = run_clique_formation(g)
+        expected = n * (n - 1) // 2 - (n - 1)  # all non-original edges
+        assert res.metrics.total_activations == expected
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_linear_degree(self, n):
+        g = graphs.line_graph(n)
+        res = run_clique_formation(g)
+        assert res.metrics.max_activated_degree >= n - 3
+
+    def test_keep_clique_mode(self):
+        g = graphs.line_graph(10)
+        res = run_clique_formation(g, to_star=False)
+        assert res.network.num_active_edges == 45
+
+    def test_requires_knows_n(self):
+        with pytest.raises(ConfigurationError):
+            run_clique_formation(nx.path_graph(4), knows_n=False)
+
+    def test_on_rich_graphs(self):
+        g = graphs.make("grid", 36)
+        res = run_clique_formation(g)
+        assert graphs.is_spanning_star(res.final_graph(), center=max(g.nodes()))

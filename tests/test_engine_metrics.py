@@ -1,0 +1,85 @@
+"""Unit tests for the Section 2.2 edge-complexity measures."""
+
+import networkx as nx
+
+from repro.engine import Network, RoundActions
+from repro.engine.metrics import MetricsRecorder
+
+
+def apply_and_record(net, recorder, activations=(), deactivations=()):
+    actions = RoundActions()
+    for u, v in activations:
+        actions.request_activation(u, u, v)
+    for u, v in deactivations:
+        actions.request_deactivation(u, u, v)
+    per_node = actions.activation_count_by_actor()
+    act, deact = net.apply(actions)
+    recorder.record_round(act, deact, per_node)
+    return recorder.metrics
+
+
+class TestMeasures:
+    def test_total_activations(self):
+        net = Network(nx.path_graph(4))
+        rec = MetricsRecorder(net)
+        m = apply_and_record(net, rec, activations=[(0, 2), (1, 3)])
+        assert m.total_activations == 2
+
+    def test_max_activated_edges_excludes_originals(self):
+        net = Network(nx.path_graph(4))
+        rec = MetricsRecorder(net)
+        m = apply_and_record(net, rec, activations=[(0, 2)])
+        assert m.max_activated_edges == 1  # the 3 original edges don't count
+
+    def test_max_activated_edges_is_a_high_watermark(self):
+        net = Network(nx.path_graph(4))
+        rec = MetricsRecorder(net)
+        apply_and_record(net, rec, activations=[(0, 2), (1, 3)])
+        m = apply_and_record(net, rec, deactivations=[(0, 2), (1, 3)])
+        assert m.max_activated_edges == 2
+        assert m.total_deactivations == 2
+
+    def test_max_activated_degree(self):
+        net = Network(nx.star_graph(4))  # center 0
+        rec = MetricsRecorder(net)
+        m = apply_and_record(net, rec, activations=[(1, 2), (1, 3)])
+        assert m.max_activated_degree == 2  # node 1 in the activated-only graph
+
+    def test_degree_decreases_after_deactivation(self):
+        net = Network(nx.star_graph(4))
+        rec = MetricsRecorder(net)
+        apply_and_record(net, rec, activations=[(1, 2), (1, 3)])
+        apply_and_record(net, rec, deactivations=[(1, 2), (1, 3)])
+        apply_and_record(net, rec, activations=[(2, 3)])
+        m = rec.metrics
+        assert m.max_activated_degree == 2  # historical maximum preserved
+
+    def test_original_deactivation_not_in_activated_graph(self):
+        net = Network(nx.path_graph(3))
+        rec = MetricsRecorder(net)
+        m = apply_and_record(net, rec, deactivations=[(0, 1)])
+        assert m.max_activated_edges == 0
+        assert m.total_deactivations == 1
+
+    def test_per_round_series(self):
+        net = Network(nx.path_graph(5))
+        rec = MetricsRecorder(net)
+        apply_and_record(net, rec, activations=[(0, 2)])
+        apply_and_record(net, rec, activations=[(1, 3), (2, 4)])
+        m = rec.metrics
+        assert m.per_round_activations == [1, 2]
+        assert m.max_activations_per_round == 2
+
+    def test_per_node_watermark(self):
+        net = Network(nx.path_graph(5))
+        rec = MetricsRecorder(net)
+        m = apply_and_record(net, rec, activations=[(2, 0), (2, 4)])
+        assert m.max_activations_per_node_round == 2
+
+    def test_as_dict_roundtrip(self):
+        net = Network(nx.path_graph(3))
+        rec = MetricsRecorder(net)
+        m = apply_and_record(net, rec, activations=[(0, 2)])
+        d = m.as_dict()
+        assert d["total_activations"] == 1
+        assert d["rounds"] == 1

@@ -1,0 +1,205 @@
+"""Unit tests for the network state and the model's legality rules."""
+
+import networkx as nx
+import pytest
+
+from repro.engine import Network, RoundActions, edge_key
+from repro.errors import ConfigurationError, ProtocolViolation
+
+
+def path(n):
+    return nx.path_graph(n)
+
+
+class TestConstruction:
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ConfigurationError):
+            Network(nx.Graph())
+
+    def test_rejects_disconnected_graph(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(ConfigurationError):
+            Network(g)
+
+    def test_accepts_disconnected_when_allowed(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        net = Network(g, require_connected=False)
+        assert net.n == 3
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(7)
+        net = Network(g)
+        assert net.n == 1
+        assert net.neighbors(7) == set()
+
+    def test_original_edges_recorded(self):
+        net = Network(path(4))
+        assert net.original_edges == {(0, 1), (1, 2), (2, 3)}
+        assert net.is_original(1, 0)
+        assert not net.is_original(0, 2)
+
+
+class TestNeighborhoods:
+    def test_neighbors(self):
+        net = Network(path(4))
+        assert net.neighbors(1) == {0, 2}
+
+    def test_potential_neighbors_line(self):
+        net = Network(path(5))
+        assert net.potential_neighbors(0) == {2}
+        assert net.potential_neighbors(2) == {0, 4}
+
+    def test_potential_neighbors_excludes_direct(self):
+        g = nx.complete_graph(4)
+        net = Network(g)
+        assert net.potential_neighbors(0) == set()
+
+    def test_common_neighbor(self):
+        net = Network(path(4))
+        assert net.common_neighbor_exists(0, 2)
+        assert not net.common_neighbor_exists(0, 3)
+
+
+class TestActivationRules:
+    def test_legal_activation(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 2)
+        activated, _ = net.apply(acts)
+        assert activated == {(0, 2)}
+        assert net.has_edge(0, 2)
+
+    def test_distance3_activation_rejected(self):
+        net = Network(path(4))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 3)
+        with pytest.raises(ProtocolViolation):
+            net.apply(acts)
+
+    def test_distance3_activation_dropped_when_lenient(self):
+        net = Network(path(4))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 3)
+        activated, _ = net.apply(acts, strict=False)
+        assert activated == set()
+        assert not net.has_edge(0, 3)
+
+    def test_self_loop_rejected(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 0)
+        with pytest.raises(ProtocolViolation):
+            net.apply(acts)
+
+    def test_activating_active_edge_is_noop(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 1)
+        activated, _ = net.apply(acts)
+        assert activated == set()
+
+    def test_double_proposal_single_activation(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 2)
+        acts.request_activation(2, 2, 0)
+        activated, _ = net.apply(acts)
+        assert activated == {(0, 2)}
+
+    def test_validation_uses_round_start_state(self):
+        # 0-1-2-3: activating (0,2) and (1,3) simultaneously is legal, but
+        # (0,3) is not, even though after this round 0 and 3 are at distance 2.
+        net = Network(path(4))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 2)
+        acts.request_activation(1, 1, 3)
+        acts.request_activation(0, 0, 3)
+        with pytest.raises(ProtocolViolation):
+            net.apply(acts)
+
+
+class TestDeactivationRules:
+    def test_legal_deactivation(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_deactivation(1, 1, 0)
+        _, deactivated = net.apply(acts)
+        assert deactivated == {(0, 1)}
+        assert not net.has_edge(0, 1)
+
+    def test_deactivating_inactive_edge_is_noop(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_deactivation(0, 0, 2)
+        _, deactivated = net.apply(acts)
+        assert deactivated == set()
+
+    def test_conflict_same_round_keeps_previous_state(self):
+        # One endpoint activates (0,2) while the other deactivates it:
+        # disagreement leaves the edge inactive (previous state).
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 2)
+        acts.request_deactivation(2, 2, 0)
+        activated, deactivated = net.apply(acts)
+        assert activated == set()
+        assert deactivated == set()
+        assert not net.has_edge(0, 2)
+
+    def test_conflict_on_active_edge_keeps_it_active(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 1)  # no-op: already active
+        acts.request_deactivation(1, 1, 0)
+        _, deactivated = net.apply(acts)
+        # The activation was a no-op, so the deactivation stands.
+        assert deactivated == {(0, 1)}
+
+
+class TestRoundAccounting:
+    def test_round_counter_advances(self):
+        net = Network(path(3))
+        assert net.round == 1
+        net.apply(RoundActions())
+        assert net.round == 2
+
+    def test_activated_edges_excludes_originals(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 2)
+        net.apply(acts)
+        assert net.activated_edges() == {(0, 2)}
+
+    def test_reactivated_original_not_counted(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_deactivation(0, 0, 1)
+        net.apply(acts)
+        acts = RoundActions()
+        acts.request_activation(0, 0, 1)  # 0-2? no: 0 and 1 share neighbor? none
+        # after removing (0,1), 0's only path to 1 is via nothing: distance inf
+        with pytest.raises(ProtocolViolation):
+            net.apply(acts)
+
+    def test_connectivity_check(self):
+        net = Network(path(3))
+        assert net.is_connected()
+        acts = RoundActions()
+        acts.request_deactivation(0, 0, 1)
+        net.apply(acts)
+        assert not net.is_connected()
+
+    def test_snapshot_graph(self):
+        net = Network(path(3))
+        g = net.snapshot_graph()
+        assert set(g.edges()) == {(0, 1), (1, 2)}
+
+
+def test_edge_key_canonical():
+    assert edge_key(3, 1) == (1, 3)
+    assert edge_key(1, 3) == (1, 3)

@@ -1,0 +1,196 @@
+"""Tests for the synchronous runner: round order, messaging, metrics, barriers."""
+
+import networkx as nx
+import pytest
+
+from repro.engine import NodeProgram, SynchronousRunner, run_program
+from repro.errors import ExecutionError, ProtocolViolation
+
+
+class Idle(NodeProgram):
+    """Halts immediately."""
+
+    def transition(self, ctx, inbox):
+        self.halt()
+
+
+class PingOnce(NodeProgram):
+    """Sends its uid to all neighbors in round 1 and records round-1 inbox."""
+
+    def __init__(self, uid):
+        super().__init__(uid)
+        self.seen = {}
+
+    def compose(self, ctx):
+        if ctx.round == 1:
+            return {v: ("ping", self.uid) for v in ctx.neighbors}
+        return None
+
+    def transition(self, ctx, inbox):
+        if ctx.round == 1:
+            self.seen = dict(inbox)
+        self.halt()
+
+
+class ActivateDistance2(NodeProgram):
+    """Node 0 activates an edge to its distance-2 node, then halts."""
+
+    def transition(self, ctx, inbox):
+        if self.uid == 0 and ctx.round == 1:
+            ctx.activate(2)
+        self.halt()
+
+
+class BadSender(NodeProgram):
+    def compose(self, ctx):
+        return {999: "hello"}
+
+    def transition(self, ctx, inbox):
+        self.halt()
+
+
+class NeverHalts(NodeProgram):
+    pass
+
+
+class TestBasics:
+    def test_all_halt(self):
+        res = run_program(nx.path_graph(3), Idle)
+        assert res.rounds == 1
+        assert res.metrics.total_activations == 0
+
+    def test_same_round_message_delivery(self):
+        res = run_program(nx.path_graph(3), PingOnce)
+        assert res.program(1).seen == {0: ("ping", 0), 2: ("ping", 2)}
+        assert res.program(0).seen == {1: ("ping", 1)}
+
+    def test_activation_applied(self):
+        res = run_program(nx.path_graph(3), ActivateDistance2)
+        assert res.network.has_edge(0, 2)
+        assert res.metrics.total_activations == 1
+
+    def test_message_to_non_neighbor_rejected(self):
+        with pytest.raises(ProtocolViolation):
+            run_program(nx.path_graph(3), BadSender)
+
+    def test_round_limit(self):
+        with pytest.raises(ExecutionError):
+            run_program(nx.path_graph(3), NeverHalts, max_rounds=5)
+
+    def test_uid_consistency_checked(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SynchronousRunner(nx.path_graph(2), lambda uid: Idle(uid + 1))
+
+
+class PublicReader(NodeProgram):
+    """Reads neighbor publics; checks they reflect start-of-round state."""
+
+    def __init__(self, uid):
+        super().__init__(uid)
+        self.value = 0
+        self.observed = {}
+
+    def public(self):
+        return {"value": self.value}
+
+    def transition(self, ctx, inbox):
+        self.observed[ctx.round] = {
+            v: ctx.neighbor_public(v)["value"] for v in ctx.neighbors
+        }
+        self.value = ctx.round * 10 + self.uid
+        if ctx.round == 2:
+            self.halt()
+
+
+class TestPublics:
+    def test_publics_are_start_of_round_snapshots(self):
+        res = run_program(nx.path_graph(2), PublicReader)
+        p0 = res.program(0)
+        # Round 1 sees initial values; round 2 sees values set in round 1.
+        assert p0.observed[1] == {1: 0}
+        assert p0.observed[2] == {1: 11}
+
+    def test_reading_non_neighbor_public_rejected(self):
+        class Bad(NodeProgram):
+            def transition(self, ctx, inbox):
+                ctx.neighbor_public(self.uid + 2)
+
+        with pytest.raises(ProtocolViolation):
+            run_program(nx.path_graph(4), Bad)
+
+
+class BarrierProgram(NodeProgram):
+    """Raises barrier_ready at staggered rounds; counts epochs observed."""
+
+    def __init__(self, uid):
+        super().__init__(uid)
+        self.epochs_seen = []
+
+    def transition(self, ctx, inbox):
+        self.epochs_seen.append(ctx.barrier_epoch)
+        if ctx.round >= self.uid + 1:
+            self.barrier_ready = True
+        if ctx.barrier_epoch >= 1:
+            self.halt()
+
+    def on_barrier(self, epoch):
+        super().on_barrier(epoch)
+        self.last_epoch = epoch
+
+
+class TestBarrier:
+    def test_barrier_fires_when_all_ready(self):
+        res = run_program(nx.path_graph(3), BarrierProgram, use_barrier=True)
+        # Node 2 becomes ready in round 3; barrier fires at end of round 3.
+        assert res.barrier_epochs == 1
+        assert res.program(2).last_epoch == 1
+
+    def test_no_barrier_without_flag(self):
+        class Ready(NodeProgram):
+            def transition(self, ctx, inbox):
+                self.barrier_ready = True
+                if ctx.round == 3:
+                    self.halt()
+
+        res = run_program(nx.path_graph(3), Ready)
+        assert res.barrier_epochs == 0
+
+
+class TestMetricsIntegration:
+    def test_max_activated_degree(self):
+        class Hub(NodeProgram):
+            def transition(self, ctx, inbox):
+                if self.uid == 0:
+                    if ctx.round == 1:
+                        ctx.activate(2)
+                    elif ctx.round == 2:
+                        ctx.activate(3)
+                if ctx.round == 2:
+                    self.halt()
+
+        res = run_program(nx.path_graph(4), Hub)
+        assert res.metrics.total_activations == 2
+        assert res.metrics.max_activated_degree == 2  # node 0 in D(i) \ D(1)
+        assert res.metrics.max_activated_edges == 2
+
+    def test_per_node_activation_counts(self):
+        res = run_program(nx.path_graph(3), ActivateDistance2)
+        assert res.metrics.max_activations_per_node_round == 1
+
+    def test_trace_collection(self):
+        res = run_program(nx.path_graph(3), ActivateDistance2, collect_trace=True)
+        assert len(res.trace) == 1
+        assert res.trace[0].activations == {(0, 2)}
+        assert res.trace.all_connected()
+
+    def test_connectivity_guard(self):
+        class Cut(NodeProgram):
+            def transition(self, ctx, inbox):
+                if self.uid == 0:
+                    ctx.deactivate(1)
+                self.halt()
+
+        with pytest.raises(ProtocolViolation):
+            run_program(nx.path_graph(3), Cut, check_connectivity=True)

@@ -1,0 +1,128 @@
+"""Tests for GraphToStar (Section 3, Theorem 3.8)."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.core import elected_leader, run_graph_to_star
+
+
+def check_full_contract(g, res):
+    """The Depth-1 Tree contract: spanning star at u_max, unique leader."""
+    n = g.number_of_nodes()
+    u_max = max(g.nodes())
+    fg = res.final_graph()
+    assert graphs.is_spanning_star(fg, center=u_max if n > 2 else None)
+    assert elected_leader(res) == u_max
+    statuses = [p.status for p in res.programs.values()]
+    assert statuses.count("leader") == 1
+    assert statuses.count("follower") == n - 1
+
+
+class TestCorrectness:
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(5)
+        res = run_graph_to_star(g)
+        assert elected_leader(res) == 5
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 12, 16, 25, 33])
+    def test_paths(self, n):
+        g = nx.path_graph(n)
+        check_full_contract(g, run_graph_to_star(g))
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 16, 30])
+    def test_cycles(self, n):
+        g = nx.cycle_graph(n)
+        check_full_contract(g, run_graph_to_star(g))
+
+    @pytest.mark.parametrize("n", [4, 9, 17, 40])
+    def test_cliques(self, n):
+        g = nx.complete_graph(n)
+        check_full_contract(g, run_graph_to_star(g))
+
+    @pytest.mark.parametrize("family", sorted(graphs.GENERAL_FAMILIES))
+    @pytest.mark.parametrize("n", [16, 48])
+    def test_families(self, family, n):
+        g = graphs.make(family, n)
+        check_full_contract(g, run_graph_to_star(g))
+
+    def test_adversarial_uid_placement(self):
+        g = graphs.adversarial_max_far(graphs.line_graph(40), seed=1)
+        check_full_contract(g, run_graph_to_star(g))
+
+    def test_increasing_order_ring(self):
+        g = graphs.increasing_along_order(graphs.ring_graph(48))
+        check_full_contract(g, run_graph_to_star(g))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_uid_permutations(self, seed):
+        g = graphs.random_uids(graphs.random_tree(40, seed=seed), seed=seed + 100)
+        check_full_contract(g, run_graph_to_star(g))
+
+    def test_connectivity_never_broken(self):
+        g = graphs.random_uids(graphs.line_graph(32), seed=3)
+        res = run_graph_to_star(g, check_connectivity=True)
+        check_full_contract(g, res)
+
+    def test_sparse_uid_namespace(self):
+        g = graphs.random_uids(graphs.line_graph(20), seed=2, spread=97)
+        check_full_contract(g, run_graph_to_star(g))
+
+
+class TestComplexity:
+    """Theorem 3.8 bounds: O(log n) time, O(n log n) activations,
+    at most 2n active (activated) edges per round."""
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_logarithmic_rounds(self, n):
+        g = graphs.random_uids(graphs.line_graph(n), seed=n)
+        res = run_graph_to_star(g)
+        # 5-round phases, ~2-3 phases per committee doubling.
+        assert res.rounds <= 16 * math.ceil(math.log2(n)) + 25
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_total_activations(self, n):
+        g = graphs.random_uids(graphs.line_graph(n), seed=n)
+        res = run_graph_to_star(g)
+        assert res.metrics.total_activations <= 3 * n * math.ceil(math.log2(n))
+
+    @pytest.mark.parametrize("family", ["line", "ring", "gnp"])
+    def test_max_activated_edges_2n(self, family):
+        g = graphs.make(family, 64)
+        res = run_graph_to_star(g)
+        assert res.metrics.max_activated_edges <= 2 * g.number_of_nodes()
+
+    def test_one_activation_per_node_per_round(self):
+        g = graphs.make("ring", 48)
+        res = run_graph_to_star(g)
+        assert res.metrics.max_activations_per_node_round <= 1
+
+    def test_final_diameter_two(self):
+        g = graphs.make("random_tree", 50)
+        res = run_graph_to_star(g)
+        assert graphs.diameter(res.final_graph()) <= 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_any_tree_any_uids(n, seed):
+    g = graphs.random_uids(graphs.random_tree(n, seed=seed), seed=seed + 1)
+    check_full_contract(g, run_graph_to_star(g))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=50),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_any_connected_graph(n, seed):
+    g = graphs.random_uids(graphs.random_connected_gnp(n, seed=seed), seed=seed + 1)
+    check_full_contract(g, run_graph_to_star(g))

@@ -1,0 +1,163 @@
+"""Tests for the (a)synchronous Line-to-k-ary-tree subroutine (Appendix B)."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.errors import ConfigurationError
+from repro.subroutines import (
+    final_parent_map,
+    line_order_from_graph,
+    run_line_to_cbt,
+    run_line_to_kary_tree,
+)
+
+
+def depth_budget(n, factor=3.0):
+    return int(factor * math.ceil(math.log2(max(2, n)))) + 3
+
+
+class TestLineOrder:
+    def test_order(self):
+        assert line_order_from_graph(nx.path_graph(4), 3) == [0, 1, 2, 3]
+        assert line_order_from_graph(nx.path_graph(4), 0) == [3, 2, 1, 0]
+
+    def test_root_must_be_endpoint(self):
+        with pytest.raises(ConfigurationError):
+            line_order_from_graph(nx.path_graph(4), 1)
+
+    def test_rejects_non_path(self):
+        with pytest.raises(ConfigurationError):
+            line_order_from_graph(nx.cycle_graph(4), 0)
+
+    def test_rejects_k1(self):
+        with pytest.raises(ConfigurationError):
+            run_line_to_kary_tree(nx.path_graph(4), 3, k=1)
+
+
+class TestSynchronous:
+    """All-awake schedule = the synchronous LineToCompleteBinaryTree."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 64, 100])
+    def test_builds_binary_tree(self, n):
+        res = run_line_to_cbt(nx.path_graph(n), n - 1)
+        fg = res.final_graph()
+        if n > 1:
+            assert graphs.is_binary_tree(fg, n - 1)
+            assert graphs.tree_depth(fg, n - 1) <= depth_budget(n, 1.5)
+
+    @pytest.mark.parametrize("n", [8, 32, 128, 512])
+    def test_logarithmic_rounds(self, n):
+        res = run_line_to_cbt(nx.path_graph(n), n - 1)
+        # 3-beat cadence + hand-off/settling overhead: ~4 ceil(log2 n) + c.
+        assert res.rounds <= 5 * math.ceil(math.log2(n)) + 10
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_edge_complexity(self, n):
+        res = run_line_to_cbt(nx.path_graph(n), n - 1, collect_trace=True)
+        assert res.metrics.total_activations <= n * math.ceil(math.log2(n))
+        assert res.metrics.max_activations_per_node_round <= 1
+        for record in res.trace:
+            assert record.active_edges <= 2 * n - 3
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_bounded_degree(self, n):
+        """Proposition 2.2: transient degree at most 4."""
+        res = run_line_to_cbt(nx.path_graph(n), n - 1)
+        assert res.metrics.max_activated_degree <= 4
+        assert graphs.max_degree(res.final_graph()) <= 3
+
+    def test_connectivity_never_broken(self):
+        res = run_line_to_cbt(nx.path_graph(50), 49, check_connectivity=True)
+        assert graphs.is_binary_tree(res.final_graph(), 49)
+
+    def test_final_parent_map(self):
+        res = run_line_to_cbt(nx.path_graph(4), 3)
+        pm = final_parent_map(res)
+        assert pm[3] is None
+        assert set(pm) == {0, 1, 2, 3}
+        # Parent map edges must match the final graph.
+        edges = {tuple(sorted((u, p))) for u, p in pm.items() if p is not None}
+        assert edges == {tuple(sorted(e)) for e in res.final_graph().edges()}
+
+
+class TestKary:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    @pytest.mark.parametrize("n", [10, 50, 150])
+    def test_valid_kary_tree(self, k, n):
+        res = run_line_to_kary_tree(nx.path_graph(n), n - 1, k=k)
+        fg = res.final_graph()
+        assert graphs.is_kary_tree(fg, n - 1, k)
+        assert graphs.tree_depth(fg, n - 1) <= depth_budget(n, 1.5)
+
+    def test_kary_degree_bound(self):
+        res = run_line_to_kary_tree(nx.path_graph(200), 199, k=6)
+        assert res.metrics.max_activated_degree <= 6 + 2
+
+
+class TestAsynchronous:
+    """Staggered contiguous wake schedules (Lemma B.4 / Corollary B.5)."""
+
+    @pytest.mark.parametrize("n", [5, 12, 20, 33, 63, 100, 128])
+    @pytest.mark.parametrize("trial", range(4))
+    def test_contiguous_multi_source_wakes(self, n, trial):
+        rng = random.Random(n * 1000 + trial)
+        sources = [rng.randrange(n) for _ in range(rng.randint(1, 4))]
+        wake = {u: 1 + min(abs(u - s) for s in sources) for u in range(n)}
+        res = run_line_to_kary_tree(
+            nx.path_graph(n), n - 1, k=2, wake_rounds=wake, max_rounds=4000
+        )
+        fg = res.final_graph()
+        assert graphs.is_binary_tree(fg, n - 1)
+        assert graphs.tree_depth(fg, n - 1) <= depth_budget(n)
+        assert res.metrics.max_activated_degree <= 4
+
+    def test_rounds_track_wake_spread(self):
+        """Corollary B.5: O(log n + k) rounds when the last node wakes at k."""
+        n = 64
+        wake = {u: 1 + (n - 1 - u) for u in range(n)}  # wave from the root
+        res = run_line_to_kary_tree(
+            nx.path_graph(n), n - 1, k=2, wake_rounds=wake, max_rounds=4000
+        )
+        assert res.rounds <= max(wake.values()) + 6 * math.ceil(math.log2(n)) + 12
+
+    def test_single_sleepy_region(self):
+        n = 40
+        wake = {u: (200 if 10 <= u <= 14 else 1) for u in range(n)}
+        # Not contiguous, but a plateau: adjacent wake gaps are huge only at
+        # the region border; the hand-off protocol must still not wedge.
+        res = run_line_to_kary_tree(
+            nx.path_graph(n), n - 1, k=2, wake_rounds=wake, max_rounds=4000
+        )
+        assert graphs.is_binary_tree(res.final_graph(), n - 1)
+
+    @pytest.mark.parametrize("n", [17, 33])
+    def test_all_wake_same_late_round(self, n):
+        wake = {u: 9 for u in range(n)}
+        res = run_line_to_kary_tree(nx.path_graph(n), n - 1, k=2, wake_rounds=wake)
+        assert graphs.is_binary_tree(res.final_graph(), n - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=10**6),
+    sources=st.integers(min_value=1, max_value=3),
+)
+def test_property_async_always_valid(n, seed, sources):
+    """Any contiguous wake schedule yields a valid bounded-depth binary tree."""
+    rng = random.Random(seed)
+    srcs = [rng.randrange(n) for _ in range(sources)]
+    wake = {u: 1 + min(abs(u - s) for s in srcs) for u in range(n)}
+    res = run_line_to_kary_tree(
+        nx.path_graph(n), n - 1, k=2, wake_rounds=wake, max_rounds=4000
+    )
+    fg = res.final_graph()
+    assert graphs.is_binary_tree(fg, n - 1)
+    assert graphs.tree_depth(fg, n - 1) <= depth_budget(n)
+    assert res.metrics.max_activations_per_node_round <= 1

@@ -1,0 +1,96 @@
+"""Tests for the problems layer: election, dissemination, composition."""
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.core import run_clique_formation, run_graph_to_star
+from repro.problems import (
+    check_depth_d_tree,
+    check_depth_log_tree,
+    disseminate_without_transform,
+    elected_uid,
+    final_tree_depth,
+    is_dissemination_complete,
+    is_leader_election_solved,
+    leader_is_max_uid,
+    run_token_dissemination,
+    transform_then_disseminate,
+)
+
+
+class TestLeaderElection:
+    def test_solved_by_graph_to_star(self):
+        g = graphs.make("random_tree", 30)
+        res = run_graph_to_star(g)
+        assert is_leader_election_solved(res)
+        assert leader_is_max_uid(res)
+
+    def test_solved_by_clique_baseline(self):
+        g = graphs.make("ring", 16)
+        res = run_clique_formation(g)
+        assert is_leader_election_solved(res)
+        assert elected_uid(res) == max(g.nodes())
+
+
+class TestTokenDissemination:
+    @pytest.mark.parametrize("family", ["line", "star", "ring", "gnp"])
+    def test_complete_on_families(self, family):
+        g = graphs.make(family, 24)
+        res = run_token_dissemination(g)
+        assert is_dissemination_complete(res)
+
+    def test_rounds_track_diameter(self):
+        line = graphs.line_graph(60)
+        star = graphs.star_graph(60)
+        r_line = run_token_dissemination(line).rounds
+        r_star = run_token_dissemination(star).rounds
+        assert r_line >= 59
+        assert r_star <= 6
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(3)
+        res = run_token_dissemination(g)
+        assert is_dissemination_complete(res)
+
+    def test_all_tokens_correct(self):
+        g = graphs.make("grid", 25)
+        res = run_token_dissemination(g)
+        everyone = set(g.nodes())
+        assert all(p.tokens == everyone for p in res.programs.values())
+
+
+class TestDepthTreeCheckers:
+    def test_depth1_after_graph_to_star(self):
+        g = graphs.make("ring", 20)
+        res = run_graph_to_star(g)
+        assert check_depth_d_tree(res, 1)
+        assert check_depth_log_tree(res)
+        assert final_tree_depth(res) == 1
+
+    def test_rejects_wrong_depth(self):
+        g = graphs.make("ring", 20)
+        res = run_graph_to_star(g)
+        assert check_depth_d_tree(res, 0) is False
+
+
+class TestComposition:
+    def test_composition_completes(self):
+        g = graphs.random_uids(graphs.line_graph(48), seed=9)
+        comp = transform_then_disseminate(g, run_graph_to_star)
+        assert comp.complete
+        assert comp.total_rounds == comp.transform.rounds + comp.disseminate.rounds
+
+    def test_composition_beats_flooding_at_scale(self):
+        """The paper's whole point: polylog beats diameter for large n."""
+        g = graphs.random_uids(graphs.line_graph(300), seed=4)
+        comp = transform_then_disseminate(g, run_graph_to_star)
+        baseline = disseminate_without_transform(g)
+        assert comp.complete
+        assert comp.total_rounds < baseline.rounds
+
+    def test_flooding_baseline_pays_diameter(self):
+        g = graphs.line_graph(80)
+        baseline = disseminate_without_transform(g)
+        assert baseline.rounds >= 79

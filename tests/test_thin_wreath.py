@@ -1,0 +1,75 @@
+"""Tests for GraphToThinWreath (Section 5, Theorem 5.1)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.core import run_graph_to_thin_wreath, wreath_leader
+from repro.problems import is_leader_election_solved
+
+
+def arity(n):
+    return max(2, math.ceil(math.log2(max(2, n))))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16, 33])
+    def test_paths(self, n):
+        g = nx.path_graph(n)
+        res = run_graph_to_thin_wreath(g)
+        u_max = n - 1
+        fg = res.final_graph()
+        assert graphs.is_spanning_tree(fg)
+        assert graphs.is_kary_tree(fg, u_max, arity(n))
+        assert wreath_leader(res) == u_max
+        assert is_leader_election_solved(res)
+
+    @pytest.mark.parametrize("family", ["line", "ring", "grid", "regular3"])
+    def test_bounded_degree_families(self, family):
+        g = graphs.make(family, 48)
+        res = run_graph_to_thin_wreath(g)
+        u_max = max(g.nodes())
+        fg = res.final_graph()
+        assert graphs.is_spanning_tree(fg)
+        assert graphs.is_kary_tree(fg, u_max, arity(g.number_of_nodes()))
+        assert wreath_leader(res) == u_max
+
+    def test_adversarial_uids(self):
+        g = graphs.adversarial_max_far(graphs.line_graph(30), seed=3)
+        res = run_graph_to_thin_wreath(g)
+        assert wreath_leader(res) == 29
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n", [32, 96])
+    def test_polylog_degree(self, n):
+        """Theorem 5.1 (as reproduced): polylog maximum activated degree."""
+        g = graphs.make("ring", n)
+        res = run_graph_to_thin_wreath(g)
+        k = arity(g.number_of_nodes())
+        assert res.metrics.max_activated_degree <= k + 6
+
+    @pytest.mark.parametrize("n", [32, 96])
+    def test_polylog_rounds(self, n):
+        g = graphs.make("line", n)
+        res = run_graph_to_thin_wreath(g)
+        assert res.rounds <= 12 * math.ceil(math.log2(n)) ** 2 + 60
+
+    def test_linear_active_edges(self):
+        g = graphs.make("ring", 64)
+        res = run_graph_to_thin_wreath(g)
+        assert res.metrics.max_activated_edges <= 3 * g.number_of_nodes()
+
+    def test_tree_depth_at_most_wreath(self):
+        """The k-ary tree is never deeper than the binary one."""
+        from repro.core import run_graph_to_wreath
+
+        g = graphs.make("line", 96)
+        thin = run_graph_to_thin_wreath(g)
+        wreath = run_graph_to_wreath(g)
+        u_max = max(g.nodes())
+        d_thin = graphs.tree_depth(thin.final_graph(), u_max)
+        d_wreath = graphs.tree_depth(wreath.final_graph(), u_max)
+        assert d_thin <= d_wreath

@@ -1,0 +1,123 @@
+"""Tests for TreeToStar (Proposition 2.1)."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.errors import ConfigurationError
+from repro.subroutines import parents_from_root, run_tree_to_star
+
+
+def assert_star(result, root, n):
+    g = result.final_graph()
+    assert graphs.is_spanning_star(g, center=root)
+    assert g.number_of_edges() == n - 1
+
+
+class TestCorrectness:
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        res = run_tree_to_star(g, 0)
+        assert res.rounds <= 1
+
+    def test_two_nodes(self):
+        res = run_tree_to_star(nx.path_graph(2), 0)
+        assert_star(res, 0, 2)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 16, 33, 100])
+    def test_path_tree(self, n):
+        res = run_tree_to_star(nx.path_graph(n), 0)
+        assert_star(res, 0, n)
+
+    @pytest.mark.parametrize("n", [3, 7, 15, 31, 64])
+    def test_complete_binary_tree(self, n):
+        g = graphs.complete_binary_tree(n)
+        res = run_tree_to_star(g, 0)
+        assert_star(res, 0, n)
+
+    def test_root_in_middle_of_path(self):
+        res = run_tree_to_star(nx.path_graph(9), 4)
+        assert_star(res, 4, 9)
+
+    def test_already_star(self):
+        g = graphs.star_graph(10, center=0)
+        res = run_tree_to_star(g, 0)
+        assert_star(res, 0, 10)
+        assert res.metrics.total_activations == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_trees(self, seed):
+        g = graphs.random_tree(60, seed=seed)
+        root = max(g.nodes())
+        res = run_tree_to_star(g, root)
+        assert_star(res, root, 60)
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(ConfigurationError):
+            run_tree_to_star(nx.cycle_graph(4), 0)
+
+    def test_rejects_root_not_in_tree(self):
+        with pytest.raises(ConfigurationError):
+            run_tree_to_star(nx.path_graph(3), 99)
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n", [8, 32, 128, 512])
+    def test_logarithmic_rounds_on_path(self, n):
+        res = run_tree_to_star(nx.path_graph(n), 0)
+        depth = n - 1
+        assert res.rounds <= math.ceil(math.log2(depth)) + 2
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_active_edges_per_round(self, n):
+        res = run_tree_to_star(nx.path_graph(n), 0, collect_trace=True)
+        for record in res.trace:
+            assert record.active_edges <= 2 * n - 3
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_total_activations_n_log_n(self, n):
+        res = run_tree_to_star(nx.path_graph(n), 0)
+        assert res.metrics.total_activations <= n * math.ceil(math.log2(n))
+
+    def test_connectivity_never_broken(self):
+        res = run_tree_to_star(nx.path_graph(40), 0, check_connectivity=True)
+        assert_star(res, 0, 40)
+
+    def test_at_most_one_activation_per_node_round(self):
+        res = run_tree_to_star(nx.path_graph(50), 0)
+        assert res.metrics.max_activations_per_node_round <= 1
+
+
+class TestParentsFromRoot:
+    def test_parent_map(self):
+        g = graphs.complete_binary_tree(7)
+        parents = parents_from_root(g, 0)
+        assert parents[0] is None
+        assert parents[1] == 0
+        assert parents[5] == 2
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(ConfigurationError):
+            parents_from_root(g, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=80), st.integers(min_value=0, max_value=10**6))
+def test_property_random_tree_to_star(n, seed):
+    """Any random tree, any root: TreeToStar yields a star at the root."""
+    g = graphs.random_tree(n, seed=seed)
+    root = seed % n
+    res = run_tree_to_star(g, root)
+    assert graphs.is_spanning_star(res.final_graph(), center=root)
+    # Edge budget from Proposition 2.1.
+    depth = max(nx.single_source_shortest_path_length(g, root).values())
+    if depth >= 1:
+        assert res.rounds <= math.ceil(math.log2(max(2, depth))) + 2
