@@ -5,44 +5,39 @@ Reproduces the paper's comparison of all algorithms on one workload:
 | algorithm        | time       | total acts   | act/round | degree  | diameter |
 | clique baseline  | O(log n)   | Theta(n^2)   | Theta(n^2)| Theta(n)| 1        |
 | GraphToStar      | O(log n)   | O(n log n)   | O(n)      | n-1     | 2        |
-| GraphToWreath    | O(log^2 n) | O(n log^2 n) | O(n)      | O(1)    | O(log n) |
-| GraphToThinWreath| o(log^2 n)*| O(n log^2 n) | O(n)      | polylog | O(log n) |
-| centralized      | O(log n)   | Theta(n)     | O(n/log n)| O(1)+   | O(log n) |
+| GraphToWreath    | O(log^2 n) | O(n log^2 n) | O(n)     | O(1)    | O(log n) |
+| GraphToThinWreath| o(log^2 n)*| O(n log^2 n) | O(n)     | polylog | O(log n) |
+| centralized      | O(log n)   | Theta(n)     | O(n/log n)| O(1)+  | O(log n) |
+
+The table is produced through the sweep subsystem (one SweepPlan cell per
+algorithm), exactly as `python -m repro sweep` would produce it.
 """
 
 import pytest
 
 from conftest import run_once
-from repro import graphs
-from repro.analysis import measure
-from repro.centralized import run_euler_ring
-from repro.core import (
-    run_clique_formation,
-    run_graph_to_star,
-    run_graph_to_thin_wreath,
-    run_graph_to_wreath,
-)
+from repro.analysis import SweepPlan
 
 N = 96
 
-ALGORITHMS = {
-    "clique-baseline": run_clique_formation,
-    "GraphToStar": run_graph_to_star,
-    "GraphToWreath": run_graph_to_wreath,
-    "GraphToThinWreath": run_graph_to_thin_wreath,
-    "centralized-euler": run_euler_ring,
+ALGO_LABELS = {
+    "clique": "clique-baseline",
+    "star": "GraphToStar",
+    "wreath": "GraphToWreath",
+    "thin-wreath": "GraphToThinWreath",
+    "euler": "centralized-euler",
 }
 
 
-@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+@pytest.mark.parametrize("algo", sorted(ALGO_LABELS))
 def test_e11_tradeoff(benchmark, experiment_rows, algo):
-    g = graphs.make("ring", N)
-    result = run_once(benchmark, ALGORITHMS[algo], g)
-    row = measure(algo, "ring", g, result)
+    plan = SweepPlan.grid([algo], ["ring"], [N])
+    result = run_once(benchmark, plan.run)
+    row = result.rows[0]
     experiment_rows(
         "E11 trade-off table (Sec 1.3)",
         {
-            "algorithm": algo,
+            "algorithm": ALGO_LABELS[algo],
             "rounds": row.rounds,
             "total_activations": row.total_activations,
             "max_act_edges": row.max_activated_edges,
@@ -55,22 +50,21 @@ def test_e11_tradeoff(benchmark, experiment_rows, algo):
 
 def test_e11_ordering(benchmark, experiment_rows):
     """Who wins on which axis, as the paper orders them."""
-    g = graphs.make("ring", N)
-    def sweep():
-        return {name: measure(name, "ring", g, fn(g)) for name, fn in ALGORITHMS.items()}
+    plan = SweepPlan.grid(sorted(ALGO_LABELS), ["ring"], [N])
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(plan.run, rounds=1, iterations=1)
+    rows = {row.algorithm: row for row in result.rows}
     # Edges: centralized < GraphToStar < clique.
     assert (
-        rows["centralized-euler"].total_activations
-        < rows["GraphToStar"].total_activations
-        < rows["clique-baseline"].total_activations
+        rows["euler"].total_activations
+        < rows["star"].total_activations
+        < rows["clique"].total_activations
     )
     # Degree: wreath constant < thin-wreath polylog < star linear-ish.
     assert (
-        rows["GraphToWreath"].max_activated_degree
-        <= rows["GraphToThinWreath"].max_activated_degree + 2
-        <= rows["GraphToStar"].max_activated_degree
+        rows["wreath"].max_activated_degree
+        <= rows["thin-wreath"].max_activated_degree + 2
+        <= rows["star"].max_activated_degree
     )
     # Time: star (log n) beats wreath (log^2 n).
-    assert rows["GraphToStar"].rounds < rows["GraphToWreath"].rounds
+    assert rows["star"].rounds < rows["wreath"].rounds

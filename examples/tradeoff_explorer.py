@@ -1,42 +1,41 @@
 """Explore the paper's time vs edge-complexity trade-off.
 
 Runs every algorithm of the paper (plus the clique strawman and the
-centralized reference) on the same workload and prints the trade-off
-table of Section 1.3 with measured numbers.
+centralized reference) on the same workload through the parallel sweep
+subsystem and prints the trade-off table of Section 1.3 with measured
+numbers.
 
-Run:  python examples/tradeoff_explorer.py [n]
+Run:  python examples/tradeoff_explorer.py [n] [--serial]
 """
 
 import sys
 
-from repro import graphs
-from repro.analysis import measure, print_table
-from repro.centralized import run_euler_ring
-from repro.core import (
-    run_clique_formation,
-    run_graph_to_star,
-    run_graph_to_thin_wreath,
-    run_graph_to_wreath,
-)
+from repro.analysis import SweepPlan, print_table
 
-ALGORITHMS = {
-    "clique baseline (Sec 1.2)": run_clique_formation,
-    "GraphToStar (Thm 3.8)": run_graph_to_star,
-    "GraphToWreath (Thm 4.2)": run_graph_to_wreath,
-    "GraphToThinWreath (Thm 5.1)": run_graph_to_thin_wreath,
-    "centralized Euler-ring (Thm 6.3)": run_euler_ring,
+LABELS = {
+    "clique": "clique baseline (Sec 1.2)",
+    "star": "GraphToStar (Thm 3.8)",
+    "wreath": "GraphToWreath (Thm 4.2)",
+    "thin-wreath": "GraphToThinWreath (Thm 5.1)",
+    "euler": "centralized Euler-ring (Thm 6.3)",
 }
 
 
-def main(n: int = 96) -> None:
-    g = graphs.make("ring", n)
+def main(n: int = 96, parallel: bool = True) -> None:
+    plan = SweepPlan.grid(list(LABELS), ["ring"], [n])
+    result = plan.run(parallel=parallel)
     rows = []
-    for name, runner in ALGORITHMS.items():
-        result = runner(g)
-        row = measure(name, "ring", g, result).as_dict()
-        del row["family"]
-        rows.append(row)
-    print_table(rows, title=f"Time vs edge complexity on a {n}-node ring")
+    for row in result.rows:
+        d = row.as_dict()
+        d["algorithm"] = LABELS[row.algorithm]
+        del d["family"]
+        rows.append(d)
+    mode = "parallel" if parallel else "serial"
+    print_table(
+        rows,
+        title=f"Time vs edge complexity on a {n}-node ring "
+        f"({mode} sweep, {result.elapsed:.2f}s)",
+    )
     print(
         "\nReading guide: GraphToStar is time/edge optimal but pays linear "
         "degree;\nGraphToWreath pays a log factor in time for constant "
@@ -45,4 +44,5 @@ def main(n: int = 96) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 96)
+    size = int(sys.argv[1]) if len(sys.argv) > 1 and sys.argv[1].isdigit() else 96
+    main(size, parallel="--serial" not in sys.argv)

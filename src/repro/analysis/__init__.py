@@ -2,7 +2,17 @@
 
 from .fitting import MODELS, best_model, fit_constant, growth_exponent
 from .potential import KnowledgeReplay, initial_potential
-from .sweep import SweepRow, measure, run_sweep
+from .sweep import (
+    SweepCell,
+    SweepPlan,
+    SweepResult,
+    SweepRow,
+    get_algorithm,
+    measure,
+    register_algorithm,
+    registered_algorithms,
+    run_sweep,
+)
 from .symmetry import LiveRoundProfile, live_round_profile, symmetry_ratio
 from .tables import format_table, print_table
 
@@ -10,15 +20,21 @@ __all__ = [
     "KnowledgeReplay",
     "LiveRoundProfile",
     "MODELS",
+    "SweepCell",
+    "SweepPlan",
+    "SweepResult",
     "SweepRow",
     "best_model",
     "fit_constant",
     "format_table",
+    "get_algorithm",
     "growth_exponent",
     "initial_potential",
     "live_round_profile",
     "measure",
     "print_table",
+    "register_algorithm",
+    "registered_algorithms",
     "run_sweep",
     "symmetry_ratio",
 ]

@@ -1,12 +1,35 @@
-"""Parameter-sweep harness: the generator of every experiment table."""
+"""Parameter-sweep subsystem: the generator of every experiment table.
+
+A sweep is described by a :class:`SweepPlan` — a list of
+``(algorithm, family, n, seed)`` cells plus a way to resolve algorithm
+names to runner callables.  Plans execute either serially or on a
+process pool (one task per cell), always returning rows in plan order,
+so a parallel sweep is byte-identical to the serial one on a fixed
+seed.  Results persist to JSON or CSV through :class:`SweepResult`.
+
+Algorithm names resolve against the module-level *scenario registry*
+(:func:`register_algorithm` / :func:`get_algorithm`), which is
+pre-populated with every algorithm of the paper.  Parallel execution
+pickles runner callables by reference, so registered runners must be
+module-level functions (all built-ins are); closures and lambdas only
+work serially.
+
+See DESIGN.md, "Sweeps and the scenario registry".
+"""
 
 from __future__ import annotations
 
+import csv
+import json
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 import networkx as nx
 
+from ..errors import ConfigurationError
 from ..graphs import diameter, families, max_degree
 
 
@@ -57,17 +80,257 @@ def measure(algorithm: str, family: str, graph: nx.Graph, result) -> SweepRow:
     )
 
 
+# ----------------------------------------------------------------------
+# scenario registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable] = {}
+_DEFAULTS_LOADED = False
+
+
+def _ensure_default_algorithms() -> None:
+    """Populate the registry with the paper's algorithms (lazily, to keep
+    ``repro.analysis`` importable without dragging in every algorithm)."""
+    global _DEFAULTS_LOADED
+    if _DEFAULTS_LOADED:
+        return
+    from ..centralized import run_cut_in_half, run_euler_ring
+    from ..core import (
+        run_clique_formation,
+        run_graph_to_star,
+        run_graph_to_thin_wreath,
+        run_graph_to_wreath,
+    )
+
+    defaults = {
+        "star": run_graph_to_star,
+        "wreath": run_graph_to_wreath,
+        "thin-wreath": run_graph_to_thin_wreath,
+        "clique": run_clique_formation,
+        "euler": run_euler_ring,
+        "cut-in-half": run_cut_in_half,
+    }
+    for name, runner in defaults.items():
+        _REGISTRY.setdefault(name, runner)
+    _DEFAULTS_LOADED = True
+
+
+def register_algorithm(name: str, runner: Callable, *, overwrite: bool = False) -> None:
+    """Register ``runner`` (``graph, **kwargs -> result``) under ``name``.
+
+    For parallel sweeps the runner must be picklable, i.e. a module-level
+    function; worker processes re-import it by reference.
+    """
+    _ensure_default_algorithms()
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"algorithm {name!r} is already registered")
+    _REGISTRY[name] = runner
+
+
+def get_algorithm(name: str) -> Callable:
+    """Resolve a registered algorithm name to its runner."""
+    _ensure_default_algorithms()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_algorithms() -> list[str]:
+    _ensure_default_algorithms()
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# plans
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (algorithm, family, n, seed) cell of a sweep grid."""
+
+    algorithm: str
+    family: str
+    n: int
+    seed: int = 0
+
+
+def _execute_cell(cell: SweepCell, runner: Callable, runner_kwargs: dict) -> SweepRow:
+    """Run one cell (also the process-pool task; must stay module-level)."""
+    graph = families.make(cell.family, cell.n, seed=cell.seed)
+    result = runner(graph, **runner_kwargs)
+    row = measure(cell.algorithm, cell.family, graph, result)
+    if cell.seed:
+        row.extra["seed"] = cell.seed
+    return row
+
+
+@dataclass
+class SweepPlan:
+    """A deterministic list of sweep cells plus runner resolution.
+
+    ``runners`` maps algorithm names to callables and takes precedence
+    over the global registry; names absent from it resolve through
+    :func:`get_algorithm`.  ``runner_kwargs`` are forwarded to every
+    runner call (e.g. ``{"check_connectivity": True}``).
+    """
+
+    cells: list = field(default_factory=list)
+    runners: dict = field(default_factory=dict)
+    runner_kwargs: dict = field(default_factory=dict)
+
+    @classmethod
+    def grid(
+        cls,
+        algorithms: Sequence[str] | dict[str, Callable],
+        family_names: Iterable[str],
+        sizes: Iterable[int],
+        *,
+        seeds: Iterable[int] = (0,),
+        runner_kwargs: dict | None = None,
+    ) -> "SweepPlan":
+        """The full cross product algorithms × families × sizes × seeds."""
+        runners = dict(algorithms) if isinstance(algorithms, dict) else {}
+        names = list(algorithms)
+        cells = [
+            SweepCell(a, f, n, s)
+            for a in names
+            for f in family_names
+            for n in sizes
+            for s in seeds
+        ]
+        return cls(cells=cells, runners=runners, runner_kwargs=dict(runner_kwargs or {}))
+
+    def _resolve(self, name: str) -> Callable:
+        runner = self.runners.get(name)
+        return runner if runner is not None else get_algorithm(name)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def run(
+        self,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        progress=None,
+    ) -> "SweepResult":
+        """Execute every cell and return rows in plan order.
+
+        ``parallel`` runs cells on a :class:`ProcessPoolExecutor`, one task
+        per cell; every cell builds its graph from ``(family, n, seed)``
+        deterministically, so the rows are identical to a serial run.
+        ``progress`` is either truthy (log each finished cell to stderr) or
+        a callable ``(done, total, cell)``.
+        """
+        started = time.perf_counter()
+        report = _make_reporter(progress, len(self.cells))
+        if parallel and len(self.cells) > 1:
+            rows = self._run_parallel(max_workers, report)
+        else:
+            rows = []
+            for cell in self.cells:
+                rows.append(_execute_cell(cell, self._resolve(cell.algorithm), self.runner_kwargs))
+                report(cell)
+        # When the plan mixes seeds, every row must say which seed it
+        # measured — otherwise same-(algorithm, family, n) rows are
+        # indistinguishable in tables and JSON.
+        if any(cell.seed for cell in self.cells):
+            for row, cell in zip(rows, self.cells):
+                row.extra.setdefault("seed", cell.seed)
+        return SweepResult(rows=rows, elapsed=time.perf_counter() - started)
+
+    def _run_parallel(self, max_workers: int | None, report) -> list:
+        rows: list = [None] * len(self.cells)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_cell, cell, self._resolve(cell.algorithm), self.runner_kwargs
+                ): (i, cell)
+                for i, cell in enumerate(self.cells)
+            }
+            for fut in as_completed(futures):
+                i, cell = futures[fut]
+                rows[i] = fut.result()
+                report(cell)
+        return rows
+
+
+def _make_reporter(progress, total: int):
+    if not progress:
+        return lambda cell: None
+    done = 0
+    if callable(progress):
+        def report(cell):
+            nonlocal done
+            done += 1
+            progress(done, total, cell)
+        return report
+
+    def report(cell):
+        nonlocal done
+        done += 1
+        print(
+            f"[sweep {done}/{total}] {cell.algorithm}/{cell.family} "
+            f"n={cell.n} seed={cell.seed}",
+            file=sys.stderr,
+        )
+    return report
+
+
+@dataclass
+class SweepResult:
+    """Ordered sweep rows plus persistence helpers."""
+
+    rows: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> list[dict]:
+        return [row.as_dict() for row in self.rows]
+
+    def to_json(self, path=None) -> str:
+        """Deterministic JSON (sorted keys); optionally written to ``path``."""
+        payload = json.dumps(self.as_dicts(), indent=2, sort_keys=True)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(payload + "\n")
+        return payload
+
+    def to_csv(self, path) -> None:
+        """CSV with the union of row keys, in first-seen order."""
+        dicts = self.as_dicts()
+        fieldnames: list = []
+        for d in dicts:
+            for key in d:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(dicts)
+
+
 def run_sweep(
     runners: dict[str, Callable[[nx.Graph], object]],
     family_names: list[str],
     sizes: list[int],
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    progress=None,
 ) -> list[SweepRow]:
-    """Run every algorithm on every (family, n) and collect rows."""
-    rows = []
-    for name, runner in runners.items():
-        for family in family_names:
-            for n in sizes:
-                graph = families.make(family, n)
-                result = runner(graph)
-                rows.append(measure(name, family, graph, result))
-    return rows
+    """Run every algorithm on every (family, n) and collect rows.
+
+    Backward-compatible wrapper over :class:`SweepPlan`.
+    """
+    plan = SweepPlan.grid(runners, family_names, sizes)
+    return plan.run(parallel=parallel, max_workers=max_workers, progress=progress).rows

@@ -16,7 +16,16 @@ def format_table(rows: Iterable[dict], columns: list[str] | None = None) -> str:
     rows = [r if isinstance(r, dict) else r.as_dict() for r in rows]
     if not rows:
         return "(no rows)"
-    cols = columns or list(rows[0])
+    if columns:
+        cols = columns
+    else:
+        # Union of keys in first-seen order: rows with extra columns (e.g.
+        # a sweep mixing seeded and canonical cells) must not lose them.
+        cols = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
     widths = {c: len(c) for c in cols}
     rendered = []
     for row in rows:

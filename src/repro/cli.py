@@ -5,6 +5,8 @@ Usage::
     python -m repro --algorithm star --family line --n 128
     python -m repro --algorithm wreath --family ring --n 64 --trace
     python -m repro --list
+    python -m repro sweep -a star,euler -f ring,line --sizes 32,64 --parallel
+    python -m repro sweep -a star -f ring --sizes 64 --json rows.json --csv rows.csv
 """
 
 from __future__ import annotations
@@ -13,23 +15,36 @@ import argparse
 import sys
 
 from . import graphs
-from .analysis import measure, print_table
-from .centralized import run_cut_in_half, run_euler_ring
-from .core import (
-    run_clique_formation,
-    run_graph_to_star,
-    run_graph_to_thin_wreath,
-    run_graph_to_wreath,
-)
+from .analysis import SweepPlan, get_algorithm, measure, print_table, registered_algorithms
 
-ALGORITHMS = {
-    "star": ("GraphToStar (Thm 3.8)", run_graph_to_star),
-    "wreath": ("GraphToWreath (Thm 4.2)", run_graph_to_wreath),
-    "thin-wreath": ("GraphToThinWreath (Thm 5.1)", run_graph_to_thin_wreath),
-    "clique": ("clique baseline (Sec 1.2)", run_clique_formation),
-    "euler": ("centralized Euler-ring (Thm 6.3)", run_euler_ring),
-    "cut-in-half": ("centralized CutInHalf (Thm D.5, lines only)", run_cut_in_half),
+#: Display names for the registered algorithms (the runners themselves
+#: live in the analysis scenario registry; see DESIGN.md).
+DESCRIPTIONS = {
+    "star": "GraphToStar (Thm 3.8)",
+    "wreath": "GraphToWreath (Thm 4.2)",
+    "thin-wreath": "GraphToThinWreath (Thm 5.1)",
+    "clique": "clique baseline (Sec 1.2)",
+    "euler": "centralized Euler-ring (Thm 6.3)",
+    "cut-in-half": "centralized CutInHalf (Thm D.5, lines only)",
 }
+
+# Backward-compatible map ``name -> (description, runner)``.
+ALGORITHMS = {
+    name: (desc, get_algorithm(name)) for name, desc in DESCRIPTIONS.items()
+}
+
+
+def _csv_list(value: str) -> list[str]:
+    return [item for item in (part.strip() for part in value.split(",")) if item]
+
+
+def _csv_ints(value: str) -> list[int]:
+    return [int(item) for item in _csv_list(value)]
+
+
+# argparse prints the type's __name__ in "invalid ... value" errors.
+_csv_list.__name__ = "name list"
+_csv_ints.__name__ = "integer list"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,26 +52,88 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Actively dynamic network reconfiguration (PODC 2020 reproduction)",
     )
-    parser.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS), default="star")
+    parser.add_argument("--algorithm", "-a", choices=sorted(DESCRIPTIONS), default="star")
     parser.add_argument("--family", "-f", choices=sorted(graphs.FAMILIES), default="line")
     parser.add_argument("--n", type=int, default=64, help="target network size")
-    parser.add_argument("--seed", type=int, default=0, help="unused for deterministic families")
+    parser.add_argument("--seed", type=int, default=0, help="UID permutation seed (0 = canonical)")
     parser.add_argument("--trace", action="store_true", help="print per-round activations")
     parser.add_argument("--check-connectivity", action="store_true")
     parser.add_argument("--list", action="store_true", help="list algorithms and families")
+
+    sub = parser.add_subparsers(dest="command")
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an algorithms × families × sizes grid (optionally in parallel)",
+    )
+    sweep.add_argument(
+        "--algorithms", "-a", type=_csv_list, default=["star"],
+        help="comma-separated registered algorithm names",
+    )
+    sweep.add_argument(
+        "--families", "-f", type=_csv_list, default=["line"],
+        help="comma-separated family names",
+    )
+    sweep.add_argument(
+        "--sizes", "-n", type=_csv_ints, default=[64],
+        help="comma-separated target sizes",
+    )
+    sweep.add_argument(
+        "--seeds", type=_csv_ints, default=[0],
+        help="comma-separated UID permutation seeds",
+    )
+    sweep.add_argument("--parallel", action="store_true", help="use a process pool")
+    sweep.add_argument("--workers", type=int, default=None, help="process-pool size")
+    sweep.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    sweep.add_argument("--csv", dest="csv_path", default=None, help="write rows as CSV")
+    sweep.add_argument("--quiet", action="store_true", help="suppress progress output")
     return parser
+
+
+def _main_sweep(args) -> int:
+    from .errors import ConfigurationError
+
+    for name in args.algorithms:
+        try:
+            get_algorithm(name)  # fail fast, before any cell runs
+        except ConfigurationError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    for family in args.families:
+        if family not in graphs.FAMILIES:
+            print(f"unknown family {family!r}; known: {sorted(graphs.FAMILIES)}",
+                  file=sys.stderr)
+            return 2
+    plan = SweepPlan.grid(args.algorithms, args.families, args.sizes, seeds=args.seeds)
+    result = plan.run(
+        parallel=args.parallel,
+        max_workers=args.workers,
+        progress=not args.quiet,
+    )
+    if args.json_path:
+        result.to_json(args.json_path)
+    if args.csv_path:
+        result.to_csv(args.csv_path)
+    print_table(
+        result.as_dicts(),
+        title=f"sweep: {len(plan)} cells in {result.elapsed:.2f}s"
+        + (" (parallel)" if args.parallel else ""),
+    )
+    return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "command", None) == "sweep":
+        return _main_sweep(args)
     if args.list:
-        for key, (desc, _) in sorted(ALGORITHMS.items()):
-            print(f"{key:12s} {desc}")
+        for key in sorted(registered_algorithms()):
+            print(f"{key:12s} {DESCRIPTIONS.get(key, key)}")
         print("\nfamilies:", ", ".join(sorted(graphs.FAMILIES)))
         return 0
 
-    graph = graphs.make(args.family, args.n)
-    desc, runner = ALGORITHMS[args.algorithm]
+    graph = graphs.make(args.family, args.n, seed=args.seed)
+    desc = DESCRIPTIONS[args.algorithm]
+    runner = get_algorithm(args.algorithm)
     kwargs = {}
     if args.trace:
         kwargs["collect_trace"] = True

@@ -3,7 +3,7 @@
 from .actions import RoundActions, edge_key
 from .centralized import CentralizedResult, CentralizedStrategy, run_centralized
 from .metrics import Metrics, MetricsRecorder
-from .network import Network
+from .network import ConnectivityTracker, Network
 from .program import Context, NodeProgram
 from .runner import RunResult, SynchronousRunner, run_program
 from .trace import RoundRecord, Trace
@@ -11,6 +11,7 @@ from .trace import RoundRecord, Trace
 __all__ = [
     "CentralizedResult",
     "CentralizedStrategy",
+    "ConnectivityTracker",
     "Context",
     "Metrics",
     "MetricsRecorder",

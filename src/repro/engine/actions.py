@@ -5,9 +5,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def _type_order(x) -> tuple:
+    """A total-order proxy for labels whose types are not inter-comparable."""
+    t = type(x)
+    return (t.__module__, t.__qualname__, repr(x))
+
+
 def edge_key(u, v) -> tuple:
-    """Canonical undirected edge key (UIDs are comparable, usually ints)."""
-    return (u, v) if u <= v else (v, u)
+    """Canonical undirected edge key.
+
+    UIDs are normally mutually comparable (usually ints) and are ordered
+    directly.  Mixed-type labels (e.g. ints alongside strings) fall back to
+    a deterministic type-aware ordering instead of raising ``TypeError``;
+    the fallback orders by type first, then by ``repr``, so the key is the
+    same regardless of argument order.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:
+        return (u, v) if _type_order(u) <= _type_order(v) else (v, u)
 
 
 @dataclass
@@ -26,6 +42,11 @@ class RoundActions:
 
     def request_deactivation(self, actor, u, v) -> None:
         self.deactivations.append((actor, u, v))
+
+    def clear(self) -> None:
+        """Reset for reuse in the next round (hot-path allocation saver)."""
+        self.activations.clear()
+        self.deactivations.clear()
 
     def activation_count_by_actor(self) -> dict:
         counts: dict = {}

@@ -51,14 +51,10 @@ class MetricsRecorder:
             self._activated_degree[u] += 1
             self._activated_degree[v] += 1
         self.metrics = Metrics()
-        self._observe_extremes()
-
-    def _observe_extremes(self) -> None:
         m = self.metrics
-        m.max_activated_edges = max(m.max_activated_edges, len(self._activated_now))
+        m.max_activated_edges = len(self._activated_now)
         if self._activated_degree:
-            top = max(self._activated_degree.values())
-            m.max_activated_degree = max(m.max_activated_degree, top)
+            m.max_activated_degree = max(self._activated_degree.values())
 
     def record_round(
         self,
@@ -76,14 +72,26 @@ class MetricsRecorder:
             m.max_activations_per_node_round = max(
                 m.max_activations_per_node_round, max(per_node_counts.values())
             )
+        # Both extremes are high-watermarks: they can only rise through this
+        # round's activations, so only the touched degrees need re-checking
+        # (keeps idle rounds O(1) instead of O(n)).
+        degree = self._activated_degree
+        top = m.max_activated_degree
         for e in activations:
             if e not in self._original:
                 self._activated_now.add(e)
-                self._activated_degree[e[0]] += 1
-                self._activated_degree[e[1]] += 1
+                du = degree[e[0]] + 1
+                dv = degree[e[1]] + 1
+                degree[e[0]] = du
+                degree[e[1]] = dv
+                if du > top:
+                    top = du
+                if dv > top:
+                    top = dv
+        m.max_activated_degree = top
         for e in deactivations:
             if e in self._activated_now:
                 self._activated_now.discard(e)
-                self._activated_degree[e[0]] -= 1
-                self._activated_degree[e[1]] -= 1
-        self._observe_extremes()
+                degree[e[0]] -= 1
+                degree[e[1]] -= 1
+        m.max_activated_edges = max(m.max_activated_edges, len(self._activated_now))

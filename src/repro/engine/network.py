@@ -43,9 +43,13 @@ class Network:
         if require_connected and graph.number_of_nodes() > 1 and not nx.is_connected(graph):
             raise ConfigurationError("initial graph G_s must be connected")
         self._nodes = frozenset(graph.nodes())
+        _validate_label_comparability(self._nodes)
         self._adj: dict[object, set] = {u: set(graph.neighbors(u)) for u in graph.nodes()}
         self._original: frozenset = frozenset(edge_key(u, v) for u, v in graph.edges())
         self._active: set = set(self._original)
+        # Per-node frozen neighborhood snapshots handed out by neighbors();
+        # invalidated lazily when apply() touches a node's adjacency.
+        self._frozen: dict = {}
         self.round = 1
 
     # ------------------------------------------------------------------
@@ -65,9 +69,19 @@ class Network:
         """The edge set ``E(1)`` of the initial network."""
         return self._original
 
-    def neighbors(self, u) -> set:
-        """The current neighborhood ``N_1(u)`` (read-only by convention)."""
-        return self._adj[u]
+    def neighbors(self, u) -> frozenset:
+        """The current neighborhood ``N_1(u)`` as a read-only snapshot.
+
+        The returned :class:`frozenset` cannot be mutated, so buggy (or
+        adversarial) programs cannot edit adjacency behind the legality
+        rules' back.  Snapshots are cached per node and invalidated only
+        when :meth:`apply` changes that node's adjacency, so repeated calls
+        within a round are O(1).
+        """
+        view = self._frozen.get(u)
+        if view is None:
+            view = self._frozen[u] = frozenset(self._adj[u])
+        return view
 
     def degree(self, u) -> int:
         return len(self._adj[u])
@@ -103,7 +117,7 @@ class Network:
         a, b = self._adj[u], self._adj[v]
         if len(a) > len(b):
             a, b = b, a
-        return any(w in b for w in a)
+        return not b.isdisjoint(a)
 
     def snapshot_graph(self) -> nx.Graph:
         """The current snapshot ``D(i)`` as a fresh :class:`networkx.Graph`."""
@@ -141,13 +155,17 @@ class Network:
         """
         activations: set = set()
         for actor, u, v in actions.activations:
+            if u not in self._nodes or v not in self._nodes:
+                if strict:
+                    raise ProtocolViolation(
+                        f"node {actor} activated ({u}, {v}) referencing an unknown node"
+                    )
+                continue
             e = edge_key(u, v)
             if u == v:
                 if strict:
                     raise ProtocolViolation(f"node {actor} attempted a self-loop at {u}")
                 continue
-            if u not in self._nodes or v not in self._nodes:
-                raise ProtocolViolation(f"activation {e} references unknown node")
             if e in self._active:
                 # Activating an already active edge has no effect (model rule).
                 continue
@@ -161,6 +179,12 @@ class Network:
 
         deactivations: set = set()
         for actor, u, v in actions.deactivations:
+            if u not in self._nodes or v not in self._nodes:
+                if strict:
+                    raise ProtocolViolation(
+                        f"node {actor} deactivated ({u}, {v}) referencing an unknown node"
+                    )
+                continue
             e = edge_key(u, v)
             if e not in self._active:
                 # Deactivating an inactive edge has no effect (model rule),
@@ -179,14 +203,19 @@ class Network:
         # remaining deactivation of a non-active edge is a no-op.
         deactivations = {e for e in deactivations if e in self._active}
 
+        frozen = self._frozen
         for u, v in activations:
             self._active.add((u, v))
             self._adj[u].add(v)
             self._adj[v].add(u)
+            frozen.pop(u, None)
+            frozen.pop(v, None)
         for u, v in deactivations:
             self._active.discard((u, v))
             self._adj[u].discard(v)
             self._adj[v].discard(u)
+            frozen.pop(u, None)
+            frozen.pop(v, None)
 
         self.round += 1
         return activations, deactivations
@@ -200,3 +229,81 @@ class Network:
         g = nx.Graph()
         g.add_edges_from(edges)
         return cls(g, **kwargs)
+
+
+def _validate_label_comparability(nodes: frozenset) -> None:
+    """Reject node-label sets that are not mutually order-comparable.
+
+    The UID model (and every committee algorithm, which elects the maximum
+    UID) needs a total order on labels.  Checking once here turns a cryptic
+    ``TypeError`` deep inside a round into a clear error at construction.
+    """
+    try:
+        sorted(nodes)
+    except TypeError as exc:
+        kinds = sorted({type(u).__name__ for u in nodes})
+        raise ConfigurationError(
+            f"node labels must be mutually comparable to serve as UIDs; "
+            f"got incomparable types {kinds} — relabel the graph with a "
+            f"uniform UID scheme (see repro.graphs.uids)"
+        ) from exc
+
+
+class ConnectivityTracker:
+    """Incremental connectivity of the active graph across rounds.
+
+    Activations can only merge components, so they are folded into a
+    union-find structure in near-O(1) amortized time.  Deactivations can
+    split components, which union-find cannot undo — those rounds pay one
+    full O(n + m) rebuild.  Our algorithms deactivate in a small minority
+    of rounds, so the per-round connectivity guard drops from O(n + m) to
+    effectively O(#activations).
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        net = self._network
+        self._parent = {u: u for u in net.nodes}
+        self._rank = dict.fromkeys(net.nodes, 0)
+        self._components = net.n
+        for u, v in net.edges():
+            self._union(u, v)
+
+    def _find(self, x):
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def _union(self, u, v) -> None:
+        ru, rv = self._find(u), self._find(v)
+        if ru == rv:
+            return
+        if self._rank[ru] < self._rank[rv]:
+            ru, rv = rv, ru
+        self._parent[rv] = ru
+        if self._rank[ru] == self._rank[rv]:
+            self._rank[ru] += 1
+        self._components -= 1
+
+    @property
+    def components(self) -> int:
+        return self._components
+
+    def update(self, activations: Iterable[tuple], deactivations: Iterable[tuple]) -> bool:
+        """Fold one round's effective action sets; return connectedness."""
+        if deactivations:
+            self._rebuild()
+        else:
+            for u, v in activations:
+                self._union(u, v)
+        return self._components <= 1
+
+    def is_connected(self) -> bool:
+        return self._components <= 1

@@ -15,12 +15,15 @@ adjacency list to its neighbors each round; programs read them through
 :meth:`Context.neighbor_public` and :meth:`Context.neighbor_adjacency`.
 This is the standing "send your state to your neighbors" convention
 documented in DESIGN.md (faithfulness note 1).
+
+Public records are re-snapshotted lazily: the engine only calls
+:meth:`NodeProgram.public` again for programs whose state may have changed
+(see :attr:`NodeProgram.public_dirty` and DESIGN.md, "Engine hot path").
 """
 
 from __future__ import annotations
 
 from ..errors import ProtocolViolation
-from .actions import RoundActions
 
 
 class Context:
@@ -28,23 +31,28 @@ class Context:
 
     All reads reflect the *beginning* of the current round; all writes
     (activation/deactivation requests) take effect at the end of the round.
+    The engine reuses one :class:`Context` per node across rounds (updating
+    :attr:`round` and :attr:`barrier_epoch` in place), so holding on to a
+    context between rounds is safe — it always describes the current round.
+
+    All neighborhood reads go through :meth:`Network.neighbors`, which
+    returns immutable snapshots: programs cannot mutate adjacency and
+    thereby bypass the model's legality rules.
     """
 
     __slots__ = (
         "uid",
         "round",
-        "_adj",
-        "_publics",
         "_actions",
+        "_publics",
         "_network",
         "n",
         "barrier_epoch",
     )
 
-    def __init__(self, uid, round_no, adj, publics, actions, network, n, barrier_epoch):
+    def __init__(self, uid, round_no, publics, actions, network, n, barrier_epoch):
         self.uid = uid
         self.round = round_no
-        self._adj = adj
         self._publics = publics
         self._actions = actions
         self._network = network
@@ -54,13 +62,13 @@ class Context:
     # -- reads ---------------------------------------------------------
 
     @property
-    def neighbors(self) -> set:
-        """``N_1(uid)`` at the beginning of the round (do not mutate)."""
-        return self._adj[self.uid]
+    def neighbors(self) -> frozenset:
+        """``N_1(uid)`` at the beginning of the round (immutable)."""
+        return self._network.neighbors(self.uid)
 
     def neighbor_public(self, v) -> dict:
         """The public record broadcast by neighbor ``v`` this round."""
-        if v not in self._adj[self.uid]:
+        if not self._network.has_edge(self.uid, v):
             raise ProtocolViolation(f"{self.uid} read public state of non-neighbor {v}")
         return self._publics[v]
 
@@ -68,11 +76,11 @@ class Context:
         """Unchecked public-record access (engine/analysis use only)."""
         return self._publics[v]
 
-    def neighbor_adjacency(self, v) -> set:
+    def neighbor_adjacency(self, v) -> frozenset:
         """Neighbor ``v``'s adjacency at the beginning of the round."""
-        if v not in self._adj[self.uid]:
+        if not self._network.has_edge(self.uid, v):
             raise ProtocolViolation(f"{self.uid} read adjacency of non-neighbor {v}")
-        return self._adj[v]
+        return self._network.neighbors(v)
 
     def is_original(self, v, u=None) -> bool:
         """Whether edge ``(u or uid, v)`` belongs to ``E(1)``."""
@@ -81,7 +89,7 @@ class Context:
 
     @property
     def degree(self) -> int:
-        return len(self._adj[self.uid])
+        return self._network.degree(self.uid)
 
     # -- writes --------------------------------------------------------
 
@@ -101,12 +109,28 @@ class NodeProgram:
     and :meth:`public`.  Set :attr:`halted` when the node has terminated and
     :attr:`barrier_ready` when the node has finished the current global
     segment (barrier-synchronized algorithms only; see DESIGN.md note 2).
+
+    Public-record snapshotting
+    --------------------------
+    The engine re-calls :meth:`public` only when :attr:`public_dirty` is
+    set.  By default the engine conservatively re-sets the flag after every
+    :meth:`transition`/:meth:`on_barrier` of a live program, so plain
+    programs behave exactly as if ``public()`` were called every round —
+    while halted programs cost nothing.  Programs whose public record
+    changes rarely can opt in to manual tracking by setting the class
+    attribute :attr:`manages_public_dirty` to ``True`` and calling
+    :meth:`touch_public` whenever public-visible state changes.
     """
+
+    #: When True, the engine never sets :attr:`public_dirty` itself; the
+    #: program must call :meth:`touch_public` after changing public state.
+    manages_public_dirty = False
 
     def __init__(self, uid) -> None:
         self.uid = uid
         self.halted = False
         self.barrier_ready = False
+        self.public_dirty = True
 
     # -- lifecycle hooks -------------------------------------------------
 
@@ -132,3 +156,7 @@ class NodeProgram:
 
     def halt(self) -> None:
         self.halted = True
+
+    def touch_public(self) -> None:
+        """Mark the public record stale (manual dirty-tracking programs)."""
+        self.public_dirty = True

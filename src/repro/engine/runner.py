@@ -1,4 +1,16 @@
-"""The synchronous round executor for distributed node programs."""
+"""The synchronous round executor for distributed node programs.
+
+Hot-path design (see DESIGN.md, "Engine hot path"):
+
+* the runner keeps an explicit ordered set of *live* (non-halted) uids, so
+  halted nodes cost nothing per round;
+* public records are persistent and re-snapshotted only for programs whose
+  state may have changed (:attr:`NodeProgram.public_dirty`);
+* one :class:`Context` per node is built lazily and reused across rounds;
+* one :class:`RoundActions` batch is reused (cleared) across rounds;
+* the optional connectivity guard is incremental: activations fold into a
+  union-find, and only rounds with deactivations pay a full recheck.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +22,7 @@ import networkx as nx
 from ..errors import ConfigurationError, ExecutionError, ProtocolViolation
 from .actions import RoundActions
 from .metrics import Metrics, MetricsRecorder
-from .network import Network
+from .network import ConnectivityTracker, Network
 from .program import Context, NodeProgram
 from .trace import RoundRecord, Trace
 
@@ -48,13 +60,15 @@ class SynchronousRunner:
     use_barrier:
         Enable the global segment barrier (DESIGN.md note 2): when every
         program has ``barrier_ready`` set at the end of a round, the barrier
-        epoch is advanced and each program's ``on_barrier`` hook runs.
+        epoch is advanced and each program's ``on_barrier`` hook runs.  The
+        barrier never fires in a round in which the last programs halt.
     check_connectivity:
         Verify after every round that the active graph stays connected
-        (our algorithms never break connectivity); adds O(n + m) per round.
+        (our algorithms never break connectivity).  Incremental: near-O(1)
+        in activation-only rounds, O(n + m) after deactivations.
     strict:
         Raise :class:`ProtocolViolation` on illegal actions instead of
-        dropping them.
+        dropping them (DESIGN.md, "Strict vs. non-strict legality").
     collect_trace:
         Record a per-round :class:`Trace`.
     """
@@ -83,21 +97,36 @@ class SynchronousRunner:
         self.collect_trace = collect_trace
         self.max_rounds = max_rounds
         self.barrier_epoch = 0
+        # Ordered set of non-halted uids (dict for deterministic iteration).
+        self._live: dict = {
+            uid: None for uid, prog in self.programs.items() if not prog.halted
+        }
+        self._publics: dict = {}
+        self._contexts: dict = {}
+        self._dirty: set = set()
+        self._actions = RoundActions()
+        self._conn = ConnectivityTracker(self.network) if check_connectivity else None
 
     # ------------------------------------------------------------------
 
-    def _make_context(self, uid, actions: RoundActions, publics: dict) -> Context:
-        net = self.network
-        return Context(
-            uid=uid,
-            round_no=net.round,
-            adj=net._adj,
-            publics=publics,
-            actions=actions,
-            network=net,
-            n=net.n if self.knows_n else None,
-            barrier_epoch=self.barrier_epoch,
-        )
+    def _context(self, uid) -> Context:
+        """The node's reusable context, refreshed for the current round."""
+        ctx = self._contexts.get(uid)
+        if ctx is None:
+            ctx = Context(
+                uid=uid,
+                round_no=self.network.round,
+                publics=self._publics,
+                actions=self._actions,
+                network=self.network,
+                n=self.network.n if self.knows_n else None,
+                barrier_epoch=self.barrier_epoch,
+            )
+            self._contexts[uid] = ctx
+        else:
+            ctx.round = self.network.round
+            ctx.barrier_epoch = self.barrier_epoch
+        return ctx
 
     def run(self) -> RunResult:
         net = self.network
@@ -107,18 +136,34 @@ class SynchronousRunner:
 
         # Setup hooks (before round 1), read-only contexts.
         setup_actions = RoundActions()
-        publics = {uid: prog.public() for uid, prog in programs.items()}
         for uid, prog in programs.items():
-            prog.setup(self._make_context(uid, setup_actions, publics))
+            self._publics[uid] = prog.public()
+        for uid, prog in programs.items():
+            ctx = Context(
+                uid=uid,
+                round_no=net.round,
+                publics=self._publics,
+                actions=setup_actions,
+                network=net,
+                n=net.n if self.knows_n else None,
+                barrier_epoch=self.barrier_epoch,
+            )
+            prog.setup(ctx)
         if setup_actions:
             raise ProtocolViolation("setup() must not request edge actions")
+        # setup() may change public-visible state: round 1 must re-snapshot.
+        self._dirty.update(programs)
+        # A program may halt during setup(); it must not run any round.
+        for uid in list(self._live):
+            if programs[uid].halted:
+                del self._live[uid]
 
         recorder = MetricsRecorder(net)
-        while not all(p.halted for p in programs.values()):
+        while self._live:
             if net.round > limit:
                 raise ExecutionError(
                     f"round limit {limit} exceeded; "
-                    f"{sum(1 for p in programs.values() if not p.halted)} nodes still running"
+                    f"{len(self._live)} nodes still running"
                 )
             self._run_round(recorder, trace)
 
@@ -137,40 +182,55 @@ class SynchronousRunner:
     def _run_round(self, recorder: MetricsRecorder, trace: Trace | None) -> None:
         net = self.network
         programs = self.programs
-        actions = RoundActions()
+        live = self._live
+        publics = self._publics
+        actions = self._actions
+        actions.clear()
 
-        # Beginning-of-round snapshot of public records.
-        publics = {uid: prog.public() for uid, prog in programs.items()}
-        contexts = {uid: self._make_context(uid, actions, publics) for uid in programs}
+        # Re-snapshot the public records that went stale last round; every
+        # other node's snapshot (notably every halted node's) is current.
+        if self._dirty:
+            for uid in self._dirty:
+                prog = programs[uid]
+                publics[uid] = prog.public()
+                prog.public_dirty = False
+            self._dirty.clear()
 
-        # 1. Send.
-        inboxes: dict = {uid: {} for uid in programs}
-        for uid, prog in programs.items():
-            if prog.halted:
-                continue
-            out = prog.compose(contexts[uid])
+        batch = [(uid, programs[uid], self._context(uid)) for uid in live]
+
+        # 1. Send.  Only live programs send; a message to a halted neighbor
+        # is legal but can never be read, so it is not enqueued.
+        inboxes: dict = {uid: {} for uid in live}
+        adj = net._adj
+        for uid, prog, ctx in batch:
+            out = prog.compose(ctx)
             if not out:
                 continue
-            sendable = net.neighbors(uid)
+            sendable = adj[uid]
             for dst, payload in out.items():
                 if dst not in sendable:
                     raise ProtocolViolation(f"{uid} sent a message to non-neighbor {dst}")
-                inboxes[dst][uid] = payload
+                box = inboxes.get(dst)
+                if box is not None:
+                    box[uid] = payload
 
         # 2. Receive + 3./4. activate/deactivate + 5. update state.
-        for uid, prog in programs.items():
-            if prog.halted:
-                continue
-            prog.transition(contexts[uid], inboxes[uid])
+        for uid, prog, ctx in batch:
+            prog.transition(ctx, inboxes[uid])
+            if not prog.manages_public_dirty:
+                prog.public_dirty = True
 
         per_node = actions.activation_count_by_actor()
         round_no = net.round
         activations, deactivations = net.apply(actions, strict=self.strict)
         recorder.record_round(activations, deactivations, per_node)
 
-        connected = net.is_connected() if self.check_connectivity else True
-        if self.check_connectivity and not connected:
-            raise ProtocolViolation(f"round {round_no} broke connectivity")
+        if self._conn is not None:
+            connected = self._conn.update(activations, deactivations)
+            if not connected:
+                raise ProtocolViolation(f"round {round_no} broke connectivity")
+        else:
+            connected = True
 
         if trace is not None:
             trace.append(
@@ -184,14 +244,32 @@ class SynchronousRunner:
                 )
             )
 
-        # Global segment barrier (DESIGN.md note 2).
-        if self.use_barrier and all(
-            p.barrier_ready or p.halted for p in programs.values()
-        ) and any(not p.halted for p in programs.values()):
+        # Mark stale publics (including a halting program's final state,
+        # which neighbors may still read in later rounds) and retire the
+        # newly halted from the live set.
+        for uid, prog, _ in batch:
+            if prog.public_dirty:
+                self._dirty.add(uid)
+            if prog.halted:
+                del live[uid]
+
+        # Global segment barrier (DESIGN.md note 2).  ``live`` is already
+        # post-transition, so the barrier cannot fire after a global halt.
+        if self.use_barrier and live and all(
+            programs[uid].barrier_ready for uid in live
+        ):
             self.barrier_epoch += 1
-            for prog in programs.values():
-                if not prog.halted:
-                    prog.on_barrier(self.barrier_epoch)
+            for uid in live:
+                prog = programs[uid]
+                prog.on_barrier(self.barrier_epoch)
+                if not prog.manages_public_dirty:
+                    prog.public_dirty = True
+                if prog.public_dirty:
+                    self._dirty.add(uid)
+            # on_barrier() may halt; those programs must not run next round.
+            for uid in list(live):
+                if programs[uid].halted:
+                    del live[uid]
 
 
 def _default_round_limit(n: int) -> int:

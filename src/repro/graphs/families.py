@@ -12,6 +12,7 @@ from typing import Callable
 
 import networkx as nx
 
+from ..errors import ConfigurationError
 from . import generators as gen
 from . import uids
 
@@ -96,12 +97,34 @@ GENERAL_FAMILIES = (
     "grid",
 )
 
+#: Families whose UID placement *is* the workload: re-permuting their UIDs
+#: (make(..., seed!=0)) would silently measure a different experiment.
+UID_STRUCTURED_FAMILIES = (
+    "line_adversarial",
+    "increasing_ring",
+)
 
-def make(family: str, n: int) -> nx.Graph:
+
+def make(family: str, n: int, seed: int = 0) -> nx.Graph:
     """Instantiate a named family at size ``n`` (actual size may differ
-    slightly for structured families such as grids)."""
+    slightly for structured families such as grids).
+
+    ``seed`` is 0 for the family's canonical instance; a non-zero seed
+    deterministically re-permutes the UIDs, giving independent sweep
+    repetitions.  Families whose UID placement *is* the workload
+    (:data:`UID_STRUCTURED_FAMILIES`) reject non-zero seeds, as reseeding
+    would silently measure a different experiment.
+    """
     try:
         factory = FAMILIES[family]
     except KeyError:
         raise KeyError(f"unknown family {family!r}; known: {sorted(FAMILIES)}") from None
-    return factory(n)
+    if seed and family in UID_STRUCTURED_FAMILIES:
+        raise ConfigurationError(
+            f"family {family!r} is defined by its UID placement; re-permuting "
+            f"UIDs with seed={seed} would destroy the workload (use seed=0)"
+        )
+    graph = factory(n)
+    if seed:
+        graph = uids.random_uids(graph, seed=seed)
+    return graph

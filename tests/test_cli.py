@@ -36,3 +36,45 @@ class TestCli:
     def test_parser_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["-a", "nope"])
+
+
+class TestSweepCommand:
+    def test_basic_sweep(self, capsys):
+        assert main(["sweep", "-a", "star,euler", "-f", "ring", "--sizes", "16", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "star" in out and "euler" in out
+        assert "2 cells" in out
+
+    def test_parallel_sweep(self, capsys):
+        assert main([
+            "sweep", "-a", "star", "-f", "ring,line", "--sizes", "16",
+            "--parallel", "--workers", "2", "--quiet",
+        ]) == 0
+        assert "(parallel)" in capsys.readouterr().out
+
+    def test_sweep_persistence(self, capsys, tmp_path):
+        json_path = tmp_path / "rows.json"
+        csv_path = tmp_path / "rows.csv"
+        assert main([
+            "sweep", "-a", "star", "-f", "line", "--sizes", "12",
+            "--json", str(json_path), "--csv", str(csv_path), "--quiet",
+        ]) == 0
+        import json as json_mod
+
+        rows = json_mod.loads(json_path.read_text())
+        assert rows[0]["algorithm"] == "star"
+        assert csv_path.read_text().startswith("algorithm,")
+
+    def test_sweep_seeds(self, capsys):
+        assert main([
+            "sweep", "-a", "star", "-f", "ring", "--sizes", "16",
+            "--seeds", "0,3", "--quiet",
+        ]) == 0
+        assert "2 cells" in capsys.readouterr().out
+
+    def test_sweep_unknown_algorithm_fails_fast(self, capsys):
+        assert main(["sweep", "-a", "nope", "--quiet"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_sweep_unknown_family_fails(self, capsys):
+        assert main(["sweep", "-a", "star", "-f", "nope", "--quiet"]) == 2

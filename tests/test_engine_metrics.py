@@ -61,6 +61,31 @@ class TestMeasures:
         assert m.max_activated_edges == 0
         assert m.total_deactivations == 1
 
+    def test_original_edge_deactivated_then_reactivated(self):
+        """An original edge that is deactivated and later re-activated never
+        enters the activated-only graph D(i) \\ D(1), but both actions count
+        in the totals."""
+        net = Network.from_edges([(0, 1), (1, 2), (0, 2)])  # triangle
+        rec = MetricsRecorder(net)
+        apply_and_record(net, rec, deactivations=[(0, 1)])
+        assert not net.has_edge(0, 1)
+        # Re-activation is legal: 0 and 1 share neighbor 2.
+        m = apply_and_record(net, rec, activations=[(0, 1)])
+        assert net.has_edge(0, 1)
+        assert m.total_activations == 1
+        assert m.total_deactivations == 1
+        assert m.max_activated_edges == 0  # E(i) \ E(1) stayed empty
+        assert m.max_activated_degree == 0
+
+    def test_reactivated_original_then_nonoriginal_mix(self):
+        net = Network.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        rec = MetricsRecorder(net)
+        apply_and_record(net, rec, deactivations=[(0, 1)])
+        m = apply_and_record(net, rec, activations=[(0, 1), (1, 3)])
+        assert m.total_activations == 2
+        assert m.max_activated_edges == 1  # only (1, 3) is non-original
+        assert m.max_activated_degree == 1
+
     def test_per_round_series(self):
         net = Network(nx.path_graph(5))
         rec = MetricsRecorder(net)

@@ -200,6 +200,138 @@ class TestRoundAccounting:
         assert set(g.edges()) == {(0, 1), (1, 2)}
 
 
+class TestUnknownNodeHandling:
+    def test_unknown_node_activation_strict_raises(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 99)
+        with pytest.raises(ProtocolViolation):
+            net.apply(acts)
+
+    def test_unknown_node_activation_dropped_when_lenient(self):
+        # Regression: non-strict mode must drop (not raise on) activations
+        # referencing unknown nodes, as the docstring promises.
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_activation(0, 0, 99)
+        acts.request_activation(0, 0, 2)  # legal one still goes through
+        activated, _ = net.apply(acts, strict=False)
+        assert activated == {(0, 2)}
+        assert not net.has_edge(0, 99)
+
+    def test_unknown_node_deactivation_strict_raises(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_deactivation(0, 0, 99)
+        with pytest.raises(ProtocolViolation):
+            net.apply(acts)
+
+    def test_unknown_node_deactivation_dropped_when_lenient(self):
+        net = Network(path(3))
+        acts = RoundActions()
+        acts.request_deactivation(0, 0, 99)
+        _, deactivated = net.apply(acts, strict=False)
+        assert deactivated == set()
+        assert net.round == 2
+
+
+class TestReadOnlyNeighbors:
+    def test_neighbors_is_immutable(self):
+        net = Network(path(3))
+        view = net.neighbors(1)
+        assert isinstance(view, frozenset)
+        with pytest.raises(AttributeError):
+            view.add(99)
+        with pytest.raises(AttributeError):
+            view.discard(0)
+        assert net.neighbors(1) == {0, 2}
+
+    def test_snapshot_reflects_applied_rounds(self):
+        net = Network(path(3))
+        before = net.neighbors(0)
+        acts = RoundActions()
+        acts.request_activation(0, 0, 2)
+        net.apply(acts)
+        assert before == {1}  # old snapshot untouched
+        assert net.neighbors(0) == {1, 2}
+
+    def test_unknown_node_lookup_still_raises(self):
+        net = Network(path(3))
+        with pytest.raises(KeyError):
+            net.neighbors(99)
+
+
+class TestLabelComparability:
+    def test_mixed_type_labels_rejected_at_construction(self):
+        g = nx.Graph()
+        g.add_edge(0, "a")
+        with pytest.raises(ConfigurationError, match="comparable"):
+            Network(g)
+
+    def test_comparable_tuple_labels_accepted(self):
+        g = nx.Graph()
+        g.add_edge((0, 0), (0, 1))
+        net = Network(g)
+        assert net.n == 2
+
+
+class TestConnectivityTracker:
+    def test_tracks_activations_incrementally(self):
+        from repro.engine import ConnectivityTracker
+
+        net = Network(path(4))
+        tracker = ConnectivityTracker(net)
+        assert tracker.is_connected()
+        acts = RoundActions()
+        acts.request_activation(0, 0, 2)
+        activated, deactivated = net.apply(acts)
+        assert tracker.update(activated, deactivated)
+
+    def test_detects_disconnect_after_deactivation(self):
+        from repro.engine import ConnectivityTracker
+
+        net = Network(path(3))
+        tracker = ConnectivityTracker(net)
+        acts = RoundActions()
+        acts.request_deactivation(0, 0, 1)
+        activated, deactivated = net.apply(acts)
+        assert not tracker.update(activated, deactivated)
+        assert tracker.components == 2
+
+    def test_matches_full_recheck_over_random_rounds(self):
+        from repro.engine import ConnectivityTracker
+
+        net = Network(path(6))
+        tracker = ConnectivityTracker(net)
+        # Activate a chord, deactivate a bridge, re-activate it.
+        scripts = [
+            ([(0, 2)], []),
+            ([], [(0, 1)]),
+            ([(0, 1)], []),
+            ([], [(0, 2), (0, 1)]),
+        ]
+        for activations, deactivations in scripts:
+            acts = RoundActions()
+            for u, v in activations:
+                acts.request_activation(u, u, v)
+            for u, v in deactivations:
+                acts.request_deactivation(u, u, v)
+            act, deact = net.apply(acts, strict=False)
+            assert tracker.update(act, deact) == net.is_connected()
+
+
 def test_edge_key_canonical():
     assert edge_key(3, 1) == (1, 3)
     assert edge_key(1, 3) == (1, 3)
+
+
+def test_edge_key_mixed_types_does_not_crash():
+    # Regression: int vs str labels used to raise TypeError.
+    assert edge_key(1, "a") == edge_key("a", 1)
+    assert edge_key("b", "a") == ("a", "b")
+    assert set(edge_key(1, "a")) == {1, "a"}
+
+
+def test_edge_key_mixed_types_deterministic():
+    keys = {edge_key(u, v) for u, v in [(1, "x"), ("x", 1)]}
+    assert len(keys) == 1

@@ -158,6 +158,201 @@ class TestBarrier:
         assert res.barrier_epochs == 0
 
 
+class TestBarrierGlobalHalt:
+    def test_barrier_does_not_fire_when_all_halt_same_round(self):
+        """All programs raise barrier_ready AND halt in the same round: the
+        barrier condition becomes true exactly as the run globally halts,
+        and must not fire."""
+        fired = []
+
+        class ReadyAndHalt(NodeProgram):
+            def transition(self, ctx, inbox):
+                if ctx.round == 2:
+                    self.barrier_ready = True
+                    self.halt()
+
+            def on_barrier(self, epoch):
+                fired.append((self.uid, epoch))
+
+        res = run_program(nx.path_graph(3), ReadyAndHalt, use_barrier=True)
+        assert res.barrier_epochs == 0
+        assert fired == []
+        assert res.rounds == 2
+
+    def test_barrier_skips_halted_stragglers(self):
+        """Nodes that halted earlier don't block (or receive) the barrier."""
+        fired = []
+
+        class HaltOrReady(NodeProgram):
+            def transition(self, ctx, inbox):
+                if self.uid == 0:
+                    self.halt()  # halts in round 1, never barrier_ready
+                else:
+                    self.barrier_ready = True
+                    if ctx.barrier_epoch >= 1:
+                        self.halt()
+
+            def on_barrier(self, epoch):
+                super().on_barrier(epoch)
+                fired.append(self.uid)
+
+        res = run_program(nx.path_graph(3), HaltOrReady, use_barrier=True)
+        assert res.barrier_epochs >= 1
+        assert 0 not in fired
+        assert set(fired) >= {1, 2}
+
+
+class TestHaltInHooks:
+    def test_halt_in_on_barrier_stops_next_round(self):
+        """A program halting inside on_barrier must not receive compose or
+        transition in later rounds, and the round count must not inflate."""
+        post_halt_calls = []
+
+        class HaltAtBarrier(NodeProgram):
+            def transition(self, ctx, inbox):
+                if self.halted:
+                    post_halt_calls.append(self.uid)
+                self.barrier_ready = True
+
+            def on_barrier(self, epoch):
+                super().on_barrier(epoch)
+                self.halt()
+
+        res = run_program(nx.path_graph(2), HaltAtBarrier, use_barrier=True)
+        assert post_halt_calls == []
+        assert res.rounds == 1
+        assert res.barrier_epochs == 1
+
+    def test_halt_in_setup_skips_all_rounds(self):
+        calls = []
+
+        class HaltInSetup(NodeProgram):
+            def setup(self, ctx):
+                self.halt()
+
+            def transition(self, ctx, inbox):
+                calls.append(self.uid)
+
+        res = run_program(nx.path_graph(3), HaltInSetup)
+        assert calls == []
+        assert res.rounds == 0
+
+
+class TestReadOnlyContext:
+    def test_program_cannot_mutate_adjacency(self):
+        """Regression: ctx.neighbors used to hand out the live adjacency
+        set, letting a buggy program bypass the legality rules."""
+
+        class Evil(NodeProgram):
+            def transition(self, ctx, inbox):
+                self.blocked = 0
+                target = next(iter(ctx.neighbors))
+                for attack in (
+                    lambda: ctx.neighbors.add(99),
+                    lambda: ctx.neighbors.discard(target),
+                    lambda: ctx.neighbor_adjacency(target).add(self.uid),
+                ):
+                    try:
+                        attack()
+                    except AttributeError:
+                        self.blocked += 1
+                self.halt()
+
+        res = run_program(nx.path_graph(3), Evil)
+        assert res.program(0).blocked == 3
+        # The network was not corrupted: still the original path.
+        assert set(res.final_graph().edges()) == {(0, 1), (1, 2)}
+
+    def test_context_reuse_tracks_round(self):
+        class Keeper(NodeProgram):
+            def __init__(self, uid):
+                super().__init__(uid)
+                self.ctxs = []
+                self.rounds_seen = []
+
+            def transition(self, ctx, inbox):
+                self.ctxs.append(ctx)
+                self.rounds_seen.append(ctx.round)
+                if ctx.round == 3:
+                    self.halt()
+
+        res = run_program(nx.path_graph(2), Keeper)
+        prog = res.program(0)
+        assert prog.rounds_seen == [1, 2, 3]
+        # One reusable context per node, refreshed in place each round.
+        assert len({id(c) for c in prog.ctxs}) == 1
+
+
+class TestPublicDirtyTracking:
+    def test_halted_programs_not_resnapshotted(self):
+        calls = {}
+
+        class Counting(NodeProgram):
+            def public(self):
+                calls[self.uid] = calls.get(self.uid, 0) + 1
+                return {"uid": self.uid}
+
+            def transition(self, ctx, inbox):
+                if self.uid == 0:
+                    self.halt()  # halts in round 1
+                elif ctx.round == 5:
+                    self.halt()
+
+        run_program(nx.path_graph(2), Counting)
+        # Node 0: initial + round-1 (post-setup) + final post-halt snapshot;
+        # no per-round calls while halted.  Node 1 pays one call per round.
+        assert calls[0] <= 3
+        assert calls[1] >= 5
+
+    def test_managed_dirty_program_skips_resnapshots(self):
+        calls = {}
+
+        class Cached(NodeProgram):
+            manages_public_dirty = True
+
+            def public(self):
+                calls[self.uid] = calls.get(self.uid, 0) + 1
+                return {"value": getattr(self, "value", 0)}
+
+            def transition(self, ctx, inbox):
+                if ctx.round == 2:
+                    self.value = 42
+                    self.touch_public()
+                if ctx.round == 4:
+                    self.halt()
+
+        res = run_program(nx.path_graph(2), Cached)
+        # initial + post-setup + the one touch_public: three calls, not one
+        # per round.
+        assert all(c <= 3 for c in calls.values())
+        assert res.rounds == 4
+
+    def test_managed_dirty_updates_visible_to_neighbors(self):
+        class Sender(NodeProgram):
+            manages_public_dirty = True
+
+            def __init__(self, uid):
+                super().__init__(uid)
+                self.value = 0
+                self.seen = {}
+
+            def public(self):
+                return {"value": self.value}
+
+            def transition(self, ctx, inbox):
+                other = 1 - self.uid
+                self.seen[ctx.round] = ctx.neighbor_public(other)["value"]
+                if ctx.round == 1:
+                    self.value = 7
+                    self.touch_public()
+                if ctx.round == 3:
+                    self.halt()
+
+        res = run_program(nx.path_graph(2), Sender)
+        # Round 1 sees initial 0; the touched update is visible from round 2.
+        assert res.program(0).seen == {1: 0, 2: 7, 3: 7}
+
+
 class TestMetricsIntegration:
     def test_max_activated_degree(self):
         class Hub(NodeProgram):

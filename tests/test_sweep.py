@@ -1,0 +1,155 @@
+"""Tests for the SweepPlan/scenario-registry subsystem."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import (
+    SweepCell,
+    SweepPlan,
+    SweepResult,
+    get_algorithm,
+    register_algorithm,
+    registered_algorithms,
+    run_sweep,
+)
+from repro.core import run_graph_to_star
+from repro.errors import ConfigurationError
+from repro.graphs import families
+
+
+class TestRegistry:
+    def test_defaults_present(self):
+        names = registered_algorithms()
+        for name in ("star", "wreath", "thin-wreath", "clique", "euler", "cut-in-half"):
+            assert name in names
+
+    def test_get_algorithm_resolves(self):
+        assert get_algorithm("star") is run_graph_to_star
+
+    def test_unknown_algorithm_clear_error(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            get_algorithm("no-such-algo")
+
+    def test_register_and_overwrite_guard(self):
+        register_algorithm("star-alias-for-test", run_graph_to_star)
+        try:
+            assert get_algorithm("star-alias-for-test") is run_graph_to_star
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_algorithm("star-alias-for-test", run_graph_to_star)
+            register_algorithm("star-alias-for-test", run_graph_to_star, overwrite=True)
+        finally:
+            from repro.analysis import sweep as sweep_mod
+
+            sweep_mod._REGISTRY.pop("star-alias-for-test", None)
+
+
+class TestPlan:
+    def test_grid_cross_product_order(self):
+        plan = SweepPlan.grid(["star", "euler"], ["ring", "line"], [8, 16], seeds=(0, 1))
+        assert len(plan) == 16
+        assert plan.cells[0] == SweepCell("star", "ring", 8, 0)
+        assert plan.cells[1] == SweepCell("star", "ring", 8, 1)
+        assert plan.cells[-1] == SweepCell("euler", "line", 16, 1)
+
+    def test_serial_run_rows_in_plan_order(self):
+        plan = SweepPlan.grid(["star"], ["line"], [8, 16])
+        result = plan.run()
+        assert [(r.algorithm, r.family, r.n) for r in result.rows] == [
+            ("star", "line", 8),
+            ("star", "line", 16),
+        ]
+
+    def test_parallel_is_byte_identical_to_serial(self):
+        plan = SweepPlan.grid(["star", "euler"], ["ring", "line"], [16, 24])
+        serial = plan.run()
+        parallel = plan.run(parallel=True, max_workers=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_parallel_with_seeds_byte_identical(self):
+        plan = SweepPlan.grid(["star"], ["ring"], [16], seeds=(0, 3, 7))
+        serial = plan.run()
+        parallel = plan.run(parallel=True, max_workers=2)
+        assert serial.to_json() == parallel.to_json()
+        # Non-zero seeds are recorded in the rows.
+        assert serial.rows[1].extra["seed"] == 3
+
+    def test_runner_kwargs_forwarded(self):
+        plan = SweepPlan.grid(
+            ["star"], ["line"], [12], runner_kwargs={"check_connectivity": True}
+        )
+        assert len(plan.run().rows) == 1
+
+    def test_progress_callback(self):
+        seen = []
+        plan = SweepPlan.grid(["star"], ["line"], [8, 12])
+        plan.run(progress=lambda done, total, cell: seen.append((done, total, cell.n)))
+        assert seen == [(1, 2, 8), (2, 2, 12)]
+
+    def test_custom_runner_dict(self):
+        plan = SweepPlan.grid({"mine": run_graph_to_star}, ["line"], [8])
+        rows = plan.run().rows
+        assert rows[0].algorithm == "mine"
+
+
+class TestPersistence:
+    def _result(self) -> SweepResult:
+        return SweepPlan.grid(["star"], ["line"], [8, 12]).run()
+
+    def test_json_roundtrip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "rows.json"
+        payload = result.to_json(path)
+        assert json.loads(payload) == result.as_dicts()
+        assert json.loads(path.read_text()) == result.as_dicts()
+
+    def test_csv_roundtrip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "rows.csv"
+        result.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "star"
+        assert int(rows[1]["n"]) == 12
+
+
+class TestSeededFamilies:
+    def test_mixed_seeds_stamp_every_row(self):
+        result = SweepPlan.grid(["star"], ["ring"], [16], seeds=(0, 3)).run()
+        assert [r.as_dict().get("seed") for r in result.rows] == [0, 3]
+
+    def test_uid_structured_family_rejects_seed(self):
+        with pytest.raises(ConfigurationError, match="UID placement"):
+            families.make("line_adversarial", 16, seed=2)
+        with pytest.raises(ConfigurationError, match="UID placement"):
+            families.make("increasing_ring", 16, seed=2)
+        # seed=0 stays fine.
+        assert families.make("increasing_ring", 16).number_of_nodes() >= 16
+
+    def test_seed_zero_is_canonical(self):
+        a = families.make("ring", 16)
+        b = families.make("ring", 16, seed=0)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_seed_is_deterministic_and_distinct(self):
+        a = families.make("ring", 16, seed=5)
+        b = families.make("ring", 16, seed=5)
+        c = families.make("ring", 16, seed=6)
+        assert set(a.edges()) == set(b.edges())
+        assert set(a.edges()) != set(c.edges())
+
+
+class TestRunSweepCompat:
+    def test_legacy_signature_still_works(self):
+        rows = run_sweep({"g2s": run_graph_to_star}, ["line"], [8, 16])
+        assert len(rows) == 2
+        assert rows[0].algorithm == "g2s"
+
+    def test_legacy_parallel_flag(self):
+        serial = run_sweep({"g2s": run_graph_to_star}, ["line"], [8, 16])
+        parallel = run_sweep(
+            {"g2s": run_graph_to_star}, ["line"], [8, 16], parallel=True, max_workers=2
+        )
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
