@@ -14,7 +14,7 @@ import pytest
 from conftest import run_once
 from repro import graphs
 from repro.analysis import live_round_profile, symmetry_ratio
-from repro.centralized import run_cut_in_half, run_euler_ring
+from repro.centralized import run_euler_ring
 from repro.core import run_graph_to_star
 
 SIZES = [32, 64, 128, 256]

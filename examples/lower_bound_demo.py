@@ -69,6 +69,10 @@ def gap_demo(n: int = 128) -> None:
     )
 
 
+def main(n: int = 64, ring_n: int = 128) -> None:
+    potential_demo(n)
+    gap_demo(ring_n)
+
+
 if __name__ == "__main__":
-    potential_demo()
-    gap_demo()
+    main()

@@ -9,10 +9,10 @@ from repro.core import elected_leader, run_graph_to_star
 from repro.problems import check_depth_d_tree
 
 
-def main() -> None:
-    # An initial network: a 64-node line with randomly permuted UIDs —
+def main(n: int = 64) -> None:
+    # An initial network: a line with randomly permuted UIDs —
     # the paper's hardest case (diameter Theta(n)).
-    g_s = graphs.random_uids(graphs.line_graph(64), seed=7)
+    g_s = graphs.random_uids(graphs.line_graph(n), seed=7)
 
     # GraphToStar (Section 3): O(log n) rounds, O(n log n) activations,
     # ends in a spanning star centered at the maximum UID.
@@ -32,7 +32,7 @@ def main() -> None:
                 "final diameter": graphs.diameter(result.final_graph()),
             }
         ],
-        title="GraphToStar on a 64-node line",
+        title=f"GraphToStar on a {n}-node line",
     )
 
 

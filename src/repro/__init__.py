@@ -9,7 +9,8 @@ Public API highlights:
 * :mod:`repro.core` — GraphToStar, GraphToWreath, GraphToThinWreath, clique;
 * :mod:`repro.centralized` — CutInHalf and the Euler-ring strategy;
 * :mod:`repro.problems` — leader election / dissemination / Depth-d Tree;
-* :mod:`repro.analysis` — potentials, sweeps, fits, tables.
+* :mod:`repro.analysis` — potentials, sweeps, fits, tables;
+* :mod:`repro.dynamics` — external adversaries, churn, self-healing.
 """
 
 from .engine import (

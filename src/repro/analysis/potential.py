@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from ..engine import Network, Trace
+from ..engine import Trace
 
 
 class KnowledgeReplay:

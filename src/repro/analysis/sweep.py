@@ -29,6 +29,7 @@ from typing import Callable, Iterable, Sequence
 
 import networkx as nx
 
+from ..dynamics.adversary import AdversarySpec, make_adversary
 from ..errors import ConfigurationError
 from ..graphs import diameter, families, max_degree
 
@@ -102,6 +103,8 @@ def _ensure_default_algorithms() -> None:
         run_graph_to_wreath,
     )
 
+    from ..dynamics.scenarios import SCENARIOS
+
     defaults = {
         "star": run_graph_to_star,
         "wreath": run_graph_to_wreath,
@@ -109,6 +112,7 @@ def _ensure_default_algorithms() -> None:
         "clique": run_clique_formation,
         "euler": run_euler_ring,
         "cut-in-half": run_cut_in_half,
+        **SCENARIOS,
     }
     for name, runner in defaults.items():
         _REGISTRY.setdefault(name, runner)
@@ -150,21 +154,33 @@ def registered_algorithms() -> list[str]:
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One (algorithm, family, n, seed) cell of a sweep grid."""
+    """One (algorithm, family, n, seed[, adversary]) cell of a sweep grid.
+
+    ``adversary`` is an :class:`AdversarySpec` (picklable, hashable), not
+    an adversary instance: each cell constructs its own seeded adversary
+    at execution time, so perturbed cells stay byte-deterministic under
+    parallel execution exactly like unperturbed ones.
+    """
 
     algorithm: str
     family: str
     n: int
     seed: int = 0
+    adversary: AdversarySpec | None = None
 
 
 def _execute_cell(cell: SweepCell, runner: Callable, runner_kwargs: dict) -> SweepRow:
     """Run one cell (also the process-pool task; must stay module-level)."""
     graph = families.make(cell.family, cell.n, seed=cell.seed)
-    result = runner(graph, **runner_kwargs)
+    if cell.adversary is not None:
+        result = runner(graph, adversary=make_adversary(cell.adversary), **runner_kwargs)
+    else:
+        result = runner(graph, **runner_kwargs)
     row = measure(cell.algorithm, cell.family, graph, result)
     if cell.seed:
         row.extra["seed"] = cell.seed
+    if cell.adversary is not None:
+        row.extra["adversary"] = cell.adversary.label()
     return row
 
 
@@ -190,13 +206,19 @@ class SweepPlan:
         sizes: Iterable[int],
         *,
         seeds: Iterable[int] = (0,),
+        adversary: AdversarySpec | None = None,
         runner_kwargs: dict | None = None,
     ) -> "SweepPlan":
-        """The full cross product algorithms × families × sizes × seeds."""
+        """The full cross product algorithms × families × sizes × seeds.
+
+        ``adversary`` stamps every cell with the same perturbation spec
+        (each cell still gets its own fresh, identically-seeded
+        adversary instance at execution time).
+        """
         runners = dict(algorithms) if isinstance(algorithms, dict) else {}
         names = list(algorithms)
         cells = [
-            SweepCell(a, f, n, s)
+            SweepCell(a, f, n, s, adversary)
             for a in names
             for f in family_names
             for n in sizes

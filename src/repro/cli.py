@@ -4,8 +4,10 @@ Usage::
 
     python -m repro --algorithm star --family line --n 128
     python -m repro --algorithm wreath --family ring --n 64 --trace
+    python -m repro --algorithm star-heal --family ring --n 64 --adversary drop
     python -m repro --list
     python -m repro sweep -a star,euler -f ring,line --sizes 32,64 --parallel
+    python -m repro sweep -a star-heal -f ring --sizes 32 --adversary drop --adversary-policy reroute
     python -m repro sweep -a star -f ring --sizes 64 --json rows.json --csv rows.csv
 """
 
@@ -16,6 +18,7 @@ import sys
 
 from . import graphs
 from .analysis import SweepPlan, get_algorithm, measure, print_table, registered_algorithms
+from .dynamics import ADVERSARY_KINDS, POLICIES, AdversarySpec, make_adversary
 
 #: Display names for the registered algorithms (the runners themselves
 #: live in the analysis scenario registry; see DESIGN.md).
@@ -26,12 +29,20 @@ DESCRIPTIONS = {
     "clique": "clique baseline (Sec 1.2)",
     "euler": "centralized Euler-ring (Thm 6.3)",
     "cut-in-half": "centralized CutInHalf (Thm D.5, lines only)",
+    "star-heal": "self-healing GraphToStar (repro.dynamics)",
+    "wreath-heal": "self-healing GraphToWreath (repro.dynamics)",
 }
 
 # Backward-compatible map ``name -> (description, runner)``.
 ALGORITHMS = {
     name: (desc, get_algorithm(name)) for name, desc in DESCRIPTIONS.items()
 }
+
+#: Built-in algorithms that accept ``--adversary``.  The committee
+#: algorithms are not self-stabilizing (DESIGN.md note 8) and the
+#: centralized strategies take no runner kwargs, so from the CLI an
+#: adversary only composes with the self-healing scenarios.
+ADVERSARY_ALGORITHMS = ("star-heal", "wreath-heal")
 
 
 def _csv_list(value: str) -> list[str]:
@@ -47,6 +58,42 @@ _csv_list.__name__ = "name list"
 _csv_ints.__name__ = "integer list"
 
 
+def _add_adversary_flags(parser, *, subcommand: bool = False) -> None:
+    # The sweep subparser shares these dests with the root parser; its
+    # defaults must not clobber values already parsed before the
+    # subcommand (`repro --adversary drop sweep ...`), hence SUPPRESS.
+    def default(value):
+        return argparse.SUPPRESS if subcommand else value
+
+    parser.add_argument(
+        "--adversary", choices=ADVERSARY_KINDS, default=default(None),
+        help="external perturbation schedule (see repro.dynamics)",
+    )
+    parser.add_argument(
+        "--churn-rate", type=float, default=default(0.1),
+        help="per-edge/per-node perturbation probability per strike",
+    )
+    parser.add_argument(
+        "--adversary-seed", type=int, default=default(1),
+        help="seed of the adversary's schedule (independent of --seed)",
+    )
+    parser.add_argument(
+        "--adversary-policy", choices=POLICIES, default=default("skip"),
+        help="connectivity policy: skip disconnecting events, or reroute them",
+    )
+
+
+def _adversary_spec(args) -> AdversarySpec | None:
+    if args.adversary is None:
+        return None
+    return AdversarySpec(
+        kind=args.adversary,
+        rate=args.churn_rate,
+        seed=args.adversary_seed,
+        policy=args.adversary_policy,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -59,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true", help="print per-round activations")
     parser.add_argument("--check-connectivity", action="store_true")
     parser.add_argument("--list", action="store_true", help="list algorithms and families")
+    _add_adversary_flags(parser)
 
     sub = parser.add_subparsers(dest="command")
     sweep = sub.add_parser(
@@ -81,12 +129,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=_csv_ints, default=[0],
         help="comma-separated UID permutation seeds",
     )
+    _add_adversary_flags(sweep, subcommand=True)
     sweep.add_argument("--parallel", action="store_true", help="use a process pool")
     sweep.add_argument("--workers", type=int, default=None, help="process-pool size")
     sweep.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     sweep.add_argument("--csv", dest="csv_path", default=None, help="write rows as CSV")
     sweep.add_argument("--quiet", action="store_true", help="suppress progress output")
     return parser
+
+
+def _reject_adversary_incapable(args, algorithms) -> str | None:
+    """The error message for --adversary on a non-heal algorithm, if any."""
+    if args.adversary is None:
+        return None
+    bad = [a for a in algorithms if a not in ADVERSARY_ALGORITHMS]
+    if not bad:
+        return None
+    return (
+        f"--adversary is not supported for {', '.join(sorted(bad))}: the "
+        f"paper's algorithms are not self-stabilizing (DESIGN.md note 8); "
+        f"use a self-healing scenario ({', '.join(ADVERSARY_ALGORITHMS)})"
+    )
 
 
 def _main_sweep(args) -> int:
@@ -103,7 +166,14 @@ def _main_sweep(args) -> int:
             print(f"unknown family {family!r}; known: {sorted(graphs.FAMILIES)}",
                   file=sys.stderr)
             return 2
-    plan = SweepPlan.grid(args.algorithms, args.families, args.sizes, seeds=args.seeds)
+    error = _reject_adversary_incapable(args, args.algorithms)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    plan = SweepPlan.grid(
+        args.algorithms, args.families, args.sizes,
+        seeds=args.seeds, adversary=_adversary_spec(args),
+    )
     result = plan.run(
         parallel=args.parallel,
         max_workers=args.workers,
@@ -131,6 +201,10 @@ def main(argv=None) -> int:
         print("\nfamilies:", ", ".join(sorted(graphs.FAMILIES)))
         return 0
 
+    error = _reject_adversary_incapable(args, [args.algorithm])
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     graph = graphs.make(args.family, args.n, seed=args.seed)
     desc = DESCRIPTIONS[args.algorithm]
     runner = get_algorithm(args.algorithm)
@@ -139,19 +213,38 @@ def main(argv=None) -> int:
         kwargs["collect_trace"] = True
     if args.check_connectivity and args.algorithm not in ("euler", "cut-in-half"):
         kwargs["check_connectivity"] = True
+    spec = _adversary_spec(args)
+    if spec is not None:
+        kwargs["adversary"] = make_adversary(spec)
     result = runner(graph, **kwargs)
 
     row = measure(args.algorithm, args.family, graph, result).as_dict()
+    if spec is not None:
+        row["adversary"] = spec.label()
     print_table([row], title=f"{desc} on {args.family} (n={graph.number_of_nodes()})")
-    if args.trace and result.trace is not None:
-        active = [
-            {"round": r.round, "activations": len(r.activations),
-             "deactivations": len(r.deactivations), "active_edges": r.active_edges}
-            for r in result.trace
-            if r.activations or r.deactivations
-        ]
-        print_table(active[:50], title="activity (first 50 active rounds)")
+    recovery = getattr(result, "recovery", None)
+    if recovery is not None:
+        print_table([recovery.as_dict()], title="recovery")
+    if args.trace:
+        episodes = getattr(result, "episodes", None)
+        if episodes is not None:  # self-healing: one trace per episode
+            for i, episode in enumerate(episodes):
+                _print_activity(episode.trace, f"episode {i} activity")
+        else:
+            _print_activity(result.trace, "activity")
     return 0
+
+
+def _print_activity(trace, title: str, limit: int = 50) -> None:
+    if trace is None:
+        return
+    active = [
+        {"round": r.round, "activations": len(r.activations),
+         "deactivations": len(r.deactivations), "active_edges": r.active_edges}
+        for r in trace
+        if r.activations or r.deactivations
+    ]
+    print_table(active[:limit], title=f"{title} (first {limit} active rounds)")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,50 @@
+"""External (adversarial) dynamics: churn injection and self-healing.
+
+The paper's model is purely *actively* dynamic; this package adds the
+external side — seeded adversaries that drop edges, crash nodes, and
+join nodes at round boundaries — plus restart-based recovery wrappers
+and resilience metrics.  See DESIGN.md, "External dynamics".
+
+``repro.dynamics.scenarios`` is deliberately not imported here: it pulls
+in the algorithm layer and is loaded lazily by the sweep registry.
+"""
+
+from .adversary import (
+    ADVERSARY_KINDS,
+    POLICIES,
+    Adversary,
+    AdversarySpec,
+    ChurnSchedule,
+    CrashAdversary,
+    EdgeDropAdversary,
+    Perturbation,
+    ScriptedAdversary,
+    make_adversary,
+)
+from .recovery import (
+    RecoveryMetrics,
+    SelfHealingResult,
+    StrikeRecord,
+    run_self_healing,
+    star_target,
+    wreath_target,
+)
+
+__all__ = [
+    "ADVERSARY_KINDS",
+    "Adversary",
+    "AdversarySpec",
+    "ChurnSchedule",
+    "CrashAdversary",
+    "EdgeDropAdversary",
+    "POLICIES",
+    "Perturbation",
+    "RecoveryMetrics",
+    "ScriptedAdversary",
+    "SelfHealingResult",
+    "StrikeRecord",
+    "make_adversary",
+    "run_self_healing",
+    "star_target",
+    "wreath_target",
+]

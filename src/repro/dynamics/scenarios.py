@@ -1,0 +1,60 @@
+"""Self-healing scenario runners for the sweep/CLI registry.
+
+Module-level functions (picklable by reference) so perturbed cells run
+on the process pool exactly like any other sweep cell.  Each runner
+accepts ``adversary=`` as an :class:`AdversarySpec`, an
+:class:`Adversary` instance, a kind string, or ``None`` (a standard
+seeded, connectivity-preserving rerouting :class:`EdgeDropAdversary` —
+the targets are trees, where only rerouting drops can do damage).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..core import run_graph_to_star, run_graph_to_wreath
+from .adversary import AdversarySpec, make_adversary
+from .recovery import SelfHealingResult, run_self_healing, star_target, wreath_target
+
+#: Every spanning-tree edge is a bridge, so a "skip" drop adversary can
+#: never damage a star/wreath target; rerouting is the interesting default.
+DEFAULT_SPEC = AdversarySpec(kind="drop", rate=0.1, seed=1, policy="reroute")
+
+
+def _resolve(adversary):
+    return make_adversary(DEFAULT_SPEC if adversary is None else adversary)
+
+
+def run_star_self_healing(
+    graph: nx.Graph, *, adversary=None, strikes: int = 3, **runner_kwargs
+) -> SelfHealingResult:
+    """GraphToStar with restart-on-damage under an external adversary."""
+    return run_self_healing(
+        graph,
+        run_graph_to_star,
+        _resolve(adversary),
+        target_check=star_target,
+        strikes=strikes,
+        runner_kwargs=runner_kwargs,
+    )
+
+
+def run_wreath_self_healing(
+    graph: nx.Graph, *, adversary=None, strikes: int = 3, **runner_kwargs
+) -> SelfHealingResult:
+    """GraphToWreath with restart-on-damage under an external adversary."""
+    return run_self_healing(
+        graph,
+        run_graph_to_wreath,
+        _resolve(adversary),
+        target_check=wreath_target,
+        strikes=strikes,
+        runner_kwargs=runner_kwargs,
+    )
+
+
+#: name -> runner, merged into the scenario registry by repro.analysis.sweep.
+SCENARIOS = {
+    "star-heal": run_star_self_healing,
+    "wreath-heal": run_wreath_self_healing,
+}

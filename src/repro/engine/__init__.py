@@ -6,7 +6,7 @@ from .metrics import Metrics, MetricsRecorder
 from .network import ConnectivityTracker, Network
 from .program import Context, NodeProgram
 from .runner import RunResult, SynchronousRunner, run_program
-from .trace import RoundRecord, Trace
+from .trace import PerturbationRecord, RoundRecord, Trace
 
 __all__ = [
     "CentralizedResult",
@@ -17,6 +17,7 @@ __all__ = [
     "MetricsRecorder",
     "Network",
     "NodeProgram",
+    "PerturbationRecord",
     "RoundActions",
     "RoundRecord",
     "RunResult",

@@ -10,7 +10,6 @@ measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
 
 import networkx as nx
 

@@ -27,9 +27,16 @@ class Metrics:
     max_activations_per_round: int = 0
     max_activations_per_node_round: int = 0
     per_round_activations: list = field(default_factory=list)
+    # External (adversarial) events — see repro.dynamics.  Kept separate
+    # from the paper's measures: adversary wiring is never algorithm cost.
+    adversary_events: int = 0
+    adversary_edge_drops: int = 0
+    adversary_edge_adds: int = 0
+    adversary_crashes: int = 0
+    adversary_joins: int = 0
 
     def as_dict(self) -> dict:
-        return {
+        base = {
             "rounds": self.rounds,
             "total_activations": self.total_activations,
             "total_deactivations": self.total_deactivations,
@@ -38,12 +45,22 @@ class Metrics:
             "max_activations_per_round": self.max_activations_per_round,
             "max_activations_per_node_round": self.max_activations_per_node_round,
         }
+        if self.adversary_events:
+            base.update(
+                adversary_events=self.adversary_events,
+                adversary_edge_drops=self.adversary_edge_drops,
+                adversary_edge_adds=self.adversary_edge_adds,
+                adversary_crashes=self.adversary_crashes,
+                adversary_joins=self.adversary_joins,
+            )
+        return base
 
 
 class MetricsRecorder:
     """Incrementally tracks the activated-only subgraph ``D(i) \\ D(1)``."""
 
     def __init__(self, network: Network) -> None:
+        self._network = network
         self._original = network.original_edges
         self._activated_degree: dict = {u: 0 for u in network.nodes}
         self._activated_now: set = set(network.activated_edges())
@@ -95,3 +112,32 @@ class MetricsRecorder:
                 degree[e[0]] -= 1
                 degree[e[1]] -= 1
         m.max_activated_edges = max(m.max_activated_edges, len(self._activated_now))
+
+    def record_external(self, dropped: set, added: set, crashes, joins) -> None:
+        """Fold one adversary strike into the recorder's state.
+
+        Adversary events never count toward the paper's cost measures —
+        they only keep the activated-only subgraph consistent: an
+        activated edge the adversary removed stops contributing to the
+        degree watermark, crashed nodes leave the degree map, and joined
+        nodes enter it.  ``E(1)`` is re-read from the network because
+        adversary-created edges fold into it (see
+        :meth:`Network.apply_external`).
+        """
+        m = self.metrics
+        m.adversary_events += 1
+        m.adversary_edge_drops += len(dropped)
+        m.adversary_edge_adds += len(added)
+        m.adversary_crashes += len(crashes)
+        m.adversary_joins += len(joins)
+        self._original = self._network.original_edges
+        degree = self._activated_degree
+        for e in dropped:
+            if e in self._activated_now:
+                self._activated_now.discard(e)
+                degree[e[0]] -= 1
+                degree[e[1]] -= 1
+        for u in crashes:
+            degree.pop(u, None)
+        for uid, _ in joins:
+            degree.setdefault(uid, 0)

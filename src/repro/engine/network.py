@@ -221,6 +221,94 @@ class Network:
         return activations, deactivations
 
     # ------------------------------------------------------------------
+    # external (adversarial) mutation — outside the model's legality rules
+    # ------------------------------------------------------------------
+
+    def apply_external(self, *, drops=(), adds=(), crashes=(), joins=()) -> tuple[set, set]:
+        """Apply one adversary strike (see ``repro.dynamics``).
+
+        External events are *not* subject to the model's legality rules:
+        they model the environment, not a node.  Crashed nodes leave the
+        network with all incident edges; joined nodes ``(uid, attach)``
+        enter with external edges to each node in ``attach``.  Every edge
+        the adversary creates folds into the external baseline edge set
+        ``E(1)`` and every edge it removes leaves it — adversary wiring
+        must never count toward the paper's activation measures.
+
+        Entries that no longer match the current state (an already-gone
+        edge, an unknown crash uid, a duplicate join) are skipped: a
+        scripted schedule may legitimately race the algorithm's own
+        reconfiguration.  Returns the effective ``(dropped, added)`` edge
+        sets, with crash-incident edges included in ``dropped`` and join
+        attach edges included in ``added``.  Does not advance the round.
+        """
+        dropped: set = set()
+        added: set = set()
+        nodes = set(self._nodes)
+        adj = self._adj
+        active = self._active
+        frozen = self._frozen
+        original = set(self._original)
+
+        for u in crashes:
+            if u not in nodes or len(nodes) <= 1:
+                continue
+            for v in adj[u]:
+                e = edge_key(u, v)
+                dropped.add(e)
+                active.discard(e)
+                original.discard(e)
+                adj[v].discard(u)
+                frozen.pop(v, None)
+            del adj[u]
+            frozen.pop(u, None)
+            nodes.discard(u)
+
+        for u, v in drops:
+            if v not in adj.get(u, ()):
+                continue
+            e = edge_key(u, v)
+            dropped.add(e)
+            active.discard(e)
+            original.discard(e)
+            adj[u].discard(v)
+            adj[v].discard(u)
+            frozen.pop(u, None)
+            frozen.pop(v, None)
+
+        for uid, attach in joins:
+            if uid in nodes:
+                continue
+            nodes.add(uid)
+            adj[uid] = set()
+            for v in attach:
+                if v not in nodes or v == uid:
+                    continue
+                e = edge_key(uid, v)
+                added.add(e)
+                active.add(e)
+                original.add(e)
+                adj[uid].add(v)
+                adj[v].add(uid)
+                frozen.pop(v, None)
+
+        for u, v in adds:
+            if u not in nodes or v not in nodes or u == v or v in adj[u]:
+                continue
+            e = edge_key(u, v)
+            added.add(e)
+            active.add(e)
+            original.add(e)
+            adj[u].add(v)
+            adj[v].add(u)
+            frozen.pop(u, None)
+            frozen.pop(v, None)
+
+        self._nodes = frozenset(nodes)
+        self._original = frozenset(original)
+        return dropped, added
+
+    # ------------------------------------------------------------------
     # convenience constructors
     # ------------------------------------------------------------------
 
@@ -295,6 +383,11 @@ class ConnectivityTracker:
     @property
     def components(self) -> int:
         return self._components
+
+    def rebuild(self) -> bool:
+        """Full recompute (after external perturbations); return connectedness."""
+        self._rebuild()
+        return self._components <= 1
 
     def update(self, activations: Iterable[tuple], deactivations: Iterable[tuple]) -> bool:
         """Fold one round's effective action sets; return connectedness."""

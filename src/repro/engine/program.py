@@ -126,6 +126,10 @@ class NodeProgram:
     #: program must call :meth:`touch_public` after changing public state.
     manages_public_dirty = False
 
+    #: Set by the runner when an external adversary crashes this node
+    #: (see ``repro.dynamics``); a crashed program is also halted.
+    crashed = False
+
     def __init__(self, uid) -> None:
         self.uid = uid
         self.halted = False

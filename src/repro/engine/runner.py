@@ -24,7 +24,7 @@ from .actions import RoundActions
 from .metrics import Metrics, MetricsRecorder
 from .network import ConnectivityTracker, Network
 from .program import Context, NodeProgram
-from .trace import RoundRecord, Trace
+from .trace import PerturbationRecord, RoundRecord, Trace
 
 
 @dataclass
@@ -71,6 +71,14 @@ class SynchronousRunner:
         dropping them (DESIGN.md, "Strict vs. non-strict legality").
     collect_trace:
         Record a per-round :class:`Trace`.
+    adversary:
+        An external perturbation schedule (see ``repro.dynamics``):
+        its per-round :class:`Perturbation` batches are applied at round
+        boundaries, outside the model's legality rules.  Crashed nodes'
+        programs are retired from the live set; joined nodes' programs
+        are spawned through ``program_factory``.  ``None`` (the default)
+        keeps the round loop on the unperturbed hot path — the only cost
+        is one ``is None`` test per round.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class SynchronousRunner:
         strict: bool = True,
         collect_trace: bool = False,
         max_rounds: int | None = None,
+        adversary=None,
     ) -> None:
         self.network = Network(graph)
         self.programs: dict = {uid: program_factory(uid) for uid in self.network.nodes}
@@ -96,6 +105,8 @@ class SynchronousRunner:
         self.strict = strict
         self.collect_trace = collect_trace
         self.max_rounds = max_rounds
+        self.adversary = adversary
+        self.program_factory = program_factory
         self.barrier_epoch = 0
         # Ordered set of non-halted uids (dict for deterministic iteration).
         self._live: dict = {
@@ -106,6 +117,7 @@ class SynchronousRunner:
         self._dirty: set = set()
         self._actions = RoundActions()
         self._conn = ConnectivityTracker(self.network) if check_connectivity else None
+        self._n_dynamic = adversary is not None
 
     # ------------------------------------------------------------------
 
@@ -126,13 +138,18 @@ class SynchronousRunner:
         else:
             ctx.round = self.network.round
             ctx.barrier_epoch = self.barrier_epoch
+            if self._n_dynamic:
+                ctx.n = self.network.n if self.knows_n else None
         return ctx
 
-    def run(self) -> RunResult:
+    def run(self, adversary=None) -> RunResult:
         net = self.network
         programs = self.programs
         limit = self.max_rounds if self.max_rounds is not None else _default_round_limit(net.n)
         trace = Trace() if self.collect_trace else None
+        adversary = adversary if adversary is not None else self.adversary
+        # Joins/crashes change n mid-run; contexts only re-read it then.
+        self._n_dynamic = adversary is not None
 
         # Setup hooks (before round 1), read-only contexts.
         setup_actions = RoundActions()
@@ -166,6 +183,8 @@ class SynchronousRunner:
                     f"{len(self._live)} nodes still running"
                 )
             self._run_round(recorder, trace)
+            if adversary is not None and self._live:
+                self._apply_adversary(adversary, recorder, trace)
 
         recorder.metrics.rounds = net.round - 1
         return RunResult(
@@ -241,6 +260,7 @@ class SynchronousRunner:
                     active_edges=net.num_active_edges,
                     activated_edges=len(net.activated_edges()),
                     connected=connected,
+                    barrier_epoch=self.barrier_epoch,
                 )
             )
 
@@ -270,6 +290,93 @@ class SynchronousRunner:
             for uid in list(live):
                 if programs[uid].halted:
                     del live[uid]
+
+    # ------------------------------------------------------------------
+    # external dynamics (see repro.dynamics and DESIGN.md note 8)
+    # ------------------------------------------------------------------
+
+    def _apply_adversary(self, adversary, recorder: MetricsRecorder, trace: Trace | None) -> None:
+        """Apply one adversary strike at the current round boundary.
+
+        The perturbation becomes visible at the beginning of the next
+        round: crashed nodes' programs are retired immediately (their
+        neighbors simply see the edges gone), joined nodes' programs are
+        spawned via the program factory and run from the next round on.
+        """
+        net = self.network
+        pert = adversary.perturb(net, net.round)
+        if not pert:
+            return
+        programs = self.programs
+        live = self._live
+
+        # A join whose uid ever had a program (alive or crashed), or that
+        # repeats a uid within this batch, is skipped entirely — uids are
+        # never reused, and the network must not gain a node the program
+        # layer refuses to animate.
+        joins = []
+        join_uids = []
+        for uid, att in pert.joins:
+            if uid in programs or uid in net.nodes or uid in join_uids:
+                continue
+            joins.append((uid, att))
+            join_uids.append(uid)
+
+        dropped, added = net.apply_external(
+            drops=pert.drops, adds=pert.adds, crashes=pert.crashes, joins=joins
+        )
+        crashed = [
+            u for u in pert.crashes
+            if u in programs and u not in net.nodes and not programs[u].crashed
+        ]
+        recorder.record_external(dropped, added, crashed, [(u, ()) for u in join_uids])
+
+        for uid in crashed:
+            prog = programs[uid]
+            prog.crashed = True
+            prog.halted = True
+            live.pop(uid, None)
+            self._contexts.pop(uid, None)
+            self._dirty.discard(uid)
+
+        for uid in join_uids:
+            prog = self.program_factory(uid)
+            if prog.uid != uid:
+                raise ConfigurationError(f"program for joined node {uid} reports uid {prog.uid}")
+            programs[uid] = prog
+            self._publics[uid] = prog.public()
+            setup_actions = RoundActions()
+            ctx = Context(
+                uid=uid,
+                round_no=net.round,
+                publics=self._publics,
+                actions=setup_actions,
+                network=net,
+                n=net.n if self.knows_n else None,
+                barrier_epoch=self.barrier_epoch,
+            )
+            prog.setup(ctx)
+            if setup_actions:
+                raise ProtocolViolation("setup() must not request edge actions")
+            self._dirty.add(uid)
+            if not prog.halted:
+                live[uid] = None
+
+        if self._conn is not None and not self._conn.rebuild():
+            raise ExecutionError(
+                f"adversary disconnected the network at the round-{net.round} boundary"
+            )
+
+        if trace is not None:
+            trace.append_perturbation(
+                PerturbationRecord(
+                    round=net.round,
+                    drops=frozenset(dropped),
+                    adds=frozenset(added),
+                    crashes=tuple(crashed),
+                    joins=tuple(joins),
+                )
+            )
 
 
 def _default_round_limit(n: int) -> int:

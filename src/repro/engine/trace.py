@@ -1,13 +1,26 @@
-"""Optional per-round execution traces for analysis and debugging."""
+"""Optional per-round execution traces for analysis and debugging.
+
+A trace is a list of :class:`RoundRecord` (one per executed round) plus
+a list of :class:`PerturbationRecord` (one per adversary strike, when
+the run had an external adversary; see ``repro.dynamics``).  Traces
+serialize to JSON Lines via :meth:`Trace.to_jsonl` /
+:meth:`Trace.from_jsonl` so records can be archived and replayed.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """What happened in a single round."""
+    """What happened in a single round.
+
+    ``barrier_epoch`` is the global segment epoch in effect *during* the
+    round (before any barrier advance at its end), which is what lets a
+    trace disambiguate the segments of barrier-synchronized algorithms.
+    """
 
     round: int
     activations: frozenset
@@ -15,16 +28,36 @@ class RoundRecord:
     active_edges: int
     activated_edges: int
     connected: bool
+    barrier_epoch: int = 0
+
+
+@dataclass(frozen=True)
+class PerturbationRecord:
+    """One adversary strike, visible at the beginning of ``round``.
+
+    ``drops`` includes the active edges removed by node crashes;
+    ``adds`` includes the attach edges of node joins.
+    """
+
+    round: int
+    drops: frozenset
+    adds: frozenset
+    crashes: tuple
+    joins: tuple
 
 
 @dataclass
 class Trace:
-    """A list of :class:`RoundRecord` collected during a run."""
+    """Round records (plus any perturbations) collected during a run."""
 
     records: list = field(default_factory=list)
+    perturbations: list = field(default_factory=list)
 
     def append(self, record: RoundRecord) -> None:
         self.records.append(record)
+
+    def append_perturbation(self, record: PerturbationRecord) -> None:
+        self.perturbations.append(record)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -41,3 +74,115 @@ class Trace:
 
     def all_connected(self) -> bool:
         return all(r.connected for r in self.records)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self, path=None) -> str:
+        """Serialize to JSON Lines (one record per line, rounds in order,
+        perturbations interleaved before the round they precede).
+
+        Edge endpoints and uids must be JSON-representable (ints or
+        strings — true for every built-in workload family).  Returns the
+        payload; also writes it to ``path`` when given.
+        """
+        lines = []
+        perts = sorted(self.perturbations, key=lambda p: p.round)
+        pi = 0
+        for rec in self.records:
+            while pi < len(perts) and perts[pi].round <= rec.round:
+                lines.append(_pert_line(perts[pi]))
+                pi += 1
+            lines.append(_round_line(rec))
+        for pert in perts[pi:]:
+            lines.append(_pert_line(pert))
+        payload = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(payload)
+        return payload
+
+    @classmethod
+    def from_jsonl(cls, source) -> "Trace":
+        """Rebuild a trace from a path or a JSONL string."""
+        import os
+
+        if isinstance(source, os.PathLike) or (
+            isinstance(source, str)
+            and source != ""
+            and "\n" not in source
+            and not source.lstrip().startswith("{")
+        ):
+            with open(source) as fh:
+                text = fh.read()
+        else:
+            text = source
+        trace = cls()
+        for line in str(text).splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            kind = d.pop("type", "round")
+            if kind == "perturbation":
+                trace.append_perturbation(
+                    PerturbationRecord(
+                        round=d["round"],
+                        drops=frozenset(_edges(d["drops"])),
+                        adds=frozenset(_edges(d["adds"])),
+                        crashes=tuple(d["crashes"]),
+                        joins=tuple((uid, tuple(att)) for uid, att in d["joins"]),
+                    )
+                )
+            else:
+                trace.append(
+                    RoundRecord(
+                        round=d["round"],
+                        activations=frozenset(_edges(d["activations"])),
+                        deactivations=frozenset(_edges(d["deactivations"])),
+                        active_edges=d["active_edges"],
+                        activated_edges=d["activated_edges"],
+                        connected=d["connected"],
+                        barrier_epoch=d.get("barrier_epoch", 0),
+                    )
+                )
+        return trace
+
+
+def _edge_list(edges) -> list:
+    return sorted([list(e) for e in edges])
+
+
+def _edges(pairs) -> list:
+    return [tuple(e) for e in pairs]
+
+
+def _round_line(rec: RoundRecord) -> str:
+    return json.dumps(
+        {
+            "type": "round",
+            "round": rec.round,
+            "activations": _edge_list(rec.activations),
+            "deactivations": _edge_list(rec.deactivations),
+            "active_edges": rec.active_edges,
+            "activated_edges": rec.activated_edges,
+            "connected": rec.connected,
+            "barrier_epoch": rec.barrier_epoch,
+        },
+        sort_keys=True,
+    )
+
+
+def _pert_line(rec: PerturbationRecord) -> str:
+    return json.dumps(
+        {
+            "type": "perturbation",
+            "round": rec.round,
+            "drops": _edge_list(rec.drops),
+            "adds": _edge_list(rec.adds),
+            "crashes": list(rec.crashes),
+            "joins": [[uid, list(att)] for uid, att in rec.joins],
+        },
+        sort_keys=True,
+    )

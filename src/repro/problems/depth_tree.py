@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import math
 
-import networkx as nx
-
 from ..engine import RunResult
 from ..graphs.validate import is_depth_d_tree, is_spanning_tree, tree_depth
 from .leader_election import elected_uid, is_leader_election_solved

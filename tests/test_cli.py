@@ -78,3 +78,47 @@ class TestSweepCommand:
 
     def test_sweep_unknown_family_fails(self, capsys):
         assert main(["sweep", "-a", "star", "-f", "nope", "--quiet"]) == 2
+
+
+class TestAdversaryFlags:
+    def test_heal_run_with_adversary(self, capsys):
+        assert main([
+            "-a", "star-heal", "-f", "ring", "--n", "16",
+            "--adversary", "drop", "--adversary-policy", "reroute",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "adversary" in out and "recovery" in out
+
+    def test_heal_trace_prints_episode_activity(self, capsys):
+        assert main([
+            "-a", "star-heal", "-f", "ring", "--n", "16", "--trace",
+            "--adversary", "drop", "--adversary-policy", "reroute",
+        ]) == 0
+        assert "episode 0 activity" in capsys.readouterr().out
+
+    def test_adversary_rejected_for_non_heal_run(self, capsys):
+        assert main(["-a", "euler", "-f", "ring", "--n", "16",
+                     "--adversary", "drop"]) == 2
+        assert "star-heal" in capsys.readouterr().err
+
+    def test_adversary_rejected_for_non_heal_sweep(self, capsys):
+        assert main(["sweep", "-a", "star", "-f", "ring", "--sizes", "16",
+                     "--adversary", "drop", "--quiet"]) == 2
+        assert "not self-stabilizing" in capsys.readouterr().err
+
+    def test_sweep_with_adversary_emits_label_column(self, capsys):
+        assert main([
+            "sweep", "-a", "star-heal", "-f", "ring", "--sizes", "16",
+            "--adversary", "drop", "--adversary-policy", "reroute", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "drop(rate=0.1,seed=1,policy=reroute,start=5,period=5)" in out
+
+    def test_adversary_flag_before_subcommand_is_honored(self, capsys):
+        # Regression: the sweep subparser must not clobber adversary flags
+        # parsed before the subcommand with its own defaults.
+        assert main([
+            "--adversary", "drop", "--adversary-policy", "reroute",
+            "sweep", "-a", "star-heal", "-f", "ring", "--sizes", "16", "--quiet",
+        ]) == 0
+        assert "policy=reroute" in capsys.readouterr().out

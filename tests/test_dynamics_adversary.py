@@ -1,0 +1,194 @@
+"""Tests for the adversary schedules (repro.dynamics.adversary)."""
+
+import networkx as nx
+import pytest
+
+from repro.dynamics import (
+    AdversarySpec,
+    ChurnSchedule,
+    CrashAdversary,
+    EdgeDropAdversary,
+    Perturbation,
+    ScriptedAdversary,
+    make_adversary,
+)
+from repro.engine import Network
+from repro.errors import ConfigurationError
+
+
+def ring_network(n: int = 12) -> Network:
+    return Network(nx.cycle_graph(n))
+
+
+def star_network(n: int = 12) -> Network:
+    return Network(nx.star_graph(n - 1))
+
+
+class TestSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            AdversarySpec(kind="meteor")
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            AdversarySpec(policy="hope")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            AdversarySpec(rate=1.5)
+
+    def test_label_covers_every_field(self):
+        spec = AdversarySpec(kind="drop", rate=0.25, seed=9, policy="reroute")
+        assert spec.label() == "drop(rate=0.25,seed=9,policy=reroute,start=5,period=5)"
+        # differently scheduled adversaries must be distinguishable in rows
+        other = AdversarySpec(kind="drop", rate=0.25, seed=9, policy="reroute", start=2, period=2)
+        assert other.label() != spec.label()
+
+    def test_make_adversary_from_kind_string(self):
+        assert isinstance(make_adversary("drop"), EdgeDropAdversary)
+        assert isinstance(make_adversary("crash"), CrashAdversary)
+        assert isinstance(make_adversary("churn"), ChurnSchedule)
+
+    def test_make_adversary_passes_instances_through(self):
+        adv = EdgeDropAdversary(0.5, seed=3)
+        assert make_adversary(adv) is adv
+
+    def test_spec_is_hashable_and_picklable(self):
+        import pickle
+
+        spec = AdversarySpec(kind="crash", rate=0.2, seed=4)
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+
+class TestGating:
+    def test_no_strike_before_start(self):
+        adv = EdgeDropAdversary(1.0, seed=1, start=10, period=5)
+        assert adv.perturb(ring_network(), 9) is None
+
+    def test_period_gates_rounds(self):
+        adv = EdgeDropAdversary(1.0, seed=1, start=4, period=3)
+        assert adv.perturb(ring_network(), 5) is None
+        assert adv.perturb(ring_network(), 6) is None
+        assert adv.perturb(ring_network(), 7) is not None
+
+    def test_strike_bypasses_gating(self):
+        adv = EdgeDropAdversary(1.0, seed=1, start=100, period=50)
+        assert adv.strike(ring_network(), 1) is not None
+
+
+class TestEdgeDrop:
+    def test_deterministic_given_seed(self):
+        a = EdgeDropAdversary(0.5, seed=3)
+        b = EdgeDropAdversary(0.5, seed=3)
+        assert a.strike(ring_network(), 5) == b.strike(ring_network(), 5)
+
+    def test_reset_rewinds_the_schedule(self):
+        adv = EdgeDropAdversary(0.5, seed=3)
+        first = adv.strike(ring_network(), 5)
+        adv.strike(ring_network(), 6)
+        adv.reset()
+        assert adv.strike(ring_network(), 5) == first
+
+    def test_different_seeds_differ(self):
+        dense = Network(nx.complete_graph(12))
+        a = EdgeDropAdversary(0.5, seed=3).strike(dense, 5)
+        dense = Network(nx.complete_graph(12))
+        b = EdgeDropAdversary(0.5, seed=4).strike(dense, 5)
+        assert a != b
+
+    def test_skip_policy_never_disconnects(self):
+        net = ring_network(16)
+        adv = EdgeDropAdversary(1.0, seed=1, policy="skip")
+        pert = adv.strike(net, 5)
+        net.apply_external(drops=pert.drops, adds=pert.adds)
+        assert net.is_connected()
+
+    def test_skip_policy_on_a_tree_is_powerless(self):
+        # Every star edge is a bridge: nothing can be dropped.
+        adv = EdgeDropAdversary(1.0, seed=1, policy="skip")
+        assert adv.strike(star_network(10), 5) is None
+
+    def test_reroute_policy_rewires_tree_drops(self):
+        net = star_network(10)
+        adv = EdgeDropAdversary(1.0, seed=1, policy="reroute")
+        pert = adv.strike(net, 5)
+        assert pert.drops and len(pert.adds) == len(pert.drops)
+        net.apply_external(drops=pert.drops, adds=pert.adds)
+        assert net.is_connected()
+
+    def test_rate_zero_is_silent(self):
+        assert EdgeDropAdversary(0.0, seed=1).strike(ring_network(), 5) is None
+
+
+class TestCrash:
+    def test_crash_preserves_connectivity_skip(self):
+        net = Network(nx.path_graph(12))
+        adv = CrashAdversary(0.9, seed=2, policy="skip")
+        pert = adv.strike(net, 5)
+        if pert is not None:
+            net.apply_external(crashes=pert.crashes, adds=pert.adds)
+        assert net.is_connected()
+
+    def test_crash_reroute_reconnects(self):
+        net = Network(nx.path_graph(12))
+        adv = CrashAdversary(0.6, seed=2, policy="reroute")
+        pert = adv.strike(net, 5)
+        assert pert is not None and pert.crashes
+        net.apply_external(crashes=pert.crashes, adds=pert.adds)
+        assert net.is_connected()
+        assert all(u not in net.nodes for u in pert.crashes)
+
+    def test_never_crashes_below_two_nodes(self):
+        net = Network(nx.path_graph(2))
+        adv = CrashAdversary(1.0, seed=2, policy="reroute")
+        assert adv.strike(net, 5) is None
+
+
+class TestChurn:
+    def test_joins_get_fresh_max_uids(self):
+        net = ring_network(8)
+        adv = ChurnSchedule(0.9, seed=5, policy="reroute")
+        pert = adv.strike(net, 5)
+        assert pert is not None
+        for uid, attach in pert.joins:
+            assert uid >= 8
+            assert attach  # joined nodes arrive connected
+        net.apply_external(crashes=pert.crashes, adds=pert.adds, joins=pert.joins)
+        assert net.is_connected()
+
+    def test_join_uids_never_collide_across_strikes(self):
+        net = ring_network(8)
+        adv = ChurnSchedule(0.9, seed=5, policy="reroute")
+        seen = set()
+        for r in (5, 10, 15, 20):
+            pert = adv.strike(net, r)
+            if pert is None:
+                continue
+            for uid, attach in pert.joins:
+                assert uid not in seen
+                seen.add(uid)
+            net.apply_external(
+                drops=pert.drops, adds=pert.adds, crashes=pert.crashes, joins=pert.joins
+            )
+        assert net.is_connected()
+
+
+class TestScripted:
+    def test_script_fires_on_named_rounds_only(self):
+        adv = ScriptedAdversary({5: {"drops": [(0, 1)]}})
+        net = ring_network(6)
+        assert adv.perturb(net, 4) is None
+        pert = adv.perturb(net, 5)
+        assert pert.drops == ((0, 1),)
+        assert adv.perturb(net, 6) is None
+
+    def test_script_accepts_perturbation_values(self):
+        pert = Perturbation(round=3, crashes=(2,))
+        adv = ScriptedAdversary({3: pert})
+        assert adv.perturb(ring_network(), 3).crashes == (2,)
+
+    def test_script_normalizes_edge_keys(self):
+        adv = ScriptedAdversary({2: {"drops": [(4, 1)], "joins": [(99, [0, 2])]}})
+        pert = adv.perturb(ring_network(), 2)
+        assert pert.drops == ((1, 4),)
+        assert pert.joins == ((99, (0, 2)),)

@@ -1,0 +1,115 @@
+"""Tests for restart-based self-healing (repro.dynamics.recovery)."""
+
+import pytest
+
+from repro import graphs
+from repro.dynamics import (
+    AdversarySpec,
+    EdgeDropAdversary,
+    run_self_healing,
+    star_target,
+    wreath_target,
+)
+from repro.dynamics.scenarios import run_star_self_healing, run_wreath_self_healing
+from repro.core import run_graph_to_star
+from repro.errors import ConfigurationError
+
+
+class TestTargets:
+    def test_star_target_on_a_real_run(self):
+        res = run_graph_to_star(graphs.make("ring", 12))
+        assert star_target(res.final_graph())
+
+    def test_star_target_rejects_ring(self):
+        assert not star_target(graphs.make("ring", 12))
+
+    def test_wreath_target_rejects_line(self):
+        assert not wreath_target(graphs.make("line", 32))
+
+
+class TestSelfHealingStar:
+    def test_recovers_target_after_each_strike(self):
+        adv = EdgeDropAdversary(0.2, seed=3, policy="reroute")
+        res = run_self_healing(
+            graphs.make("ring", 20),
+            run_graph_to_star,
+            adv,
+            target_check=star_target,
+            strikes=4,
+        )
+        assert star_target(res.final_graph())
+        assert res.recovery.strikes == 4
+        assert res.recovery.repairs >= 1
+        assert len(res.episodes) == 1 + res.recovery.repairs
+
+    def test_byte_deterministic_history(self):
+        def run():
+            return run_star_self_healing(
+                graphs.make("ring", 20),
+                adversary=AdversarySpec("drop", rate=0.2, seed=9, policy="reroute"),
+                strikes=3,
+            )
+
+        a, b = run(), run()
+        assert [
+            (s.perturbation, s.damaged, s.repair_rounds) for s in a.strikes
+        ] == [(s.perturbation, s.damaged, s.repair_rounds) for s in b.strikes]
+        assert a.metrics.as_dict() == b.metrics.as_dict()
+        assert sorted(a.final_graph().edges()) == sorted(b.final_graph().edges())
+
+    def test_stretch_accounts_for_repairs(self):
+        res = run_star_self_healing(graphs.make("ring", 16), strikes=3)
+        if res.recovery.repairs:
+            assert res.recovery.round_stretch > 1.0
+            assert res.rounds == res.baseline.rounds + res.recovery.repair_rounds
+        assert res.recovery.rounds_to_recover == [
+            s.repair_rounds for s in res.strikes if s.damaged
+        ]
+
+    def test_zero_strikes_is_just_the_baseline(self):
+        res = run_star_self_healing(graphs.make("ring", 12), strikes=0)
+        assert len(res.episodes) == 1
+        assert res.recovery.round_stretch == 1.0
+        assert star_target(res.final_graph())
+
+    def test_negative_strikes_rejected(self):
+        with pytest.raises(ConfigurationError, match="strikes"):
+            run_star_self_healing(graphs.make("ring", 12), strikes=-1)
+
+    def test_skip_policy_cannot_damage_a_tree_target(self):
+        res = run_star_self_healing(
+            graphs.make("ring", 12),
+            adversary=AdversarySpec("drop", rate=1.0, seed=2, policy="skip"),
+            strikes=2,
+        )
+        assert res.recovery.repairs == 0
+        assert res.rounds == res.baseline.rounds
+
+
+class TestSelfHealingWreath:
+    def test_recovers_binary_tree_target(self):
+        res = run_wreath_self_healing(
+            graphs.make("line", 16),
+            adversary=AdversarySpec("drop", rate=0.15, seed=5, policy="reroute"),
+            strikes=2,
+        )
+        assert wreath_target(res.final_graph())
+        assert res.recovery.strikes == 2
+
+    def test_crash_adversary_heals_with_fewer_nodes(self):
+        res = run_star_self_healing(
+            graphs.make("ring", 16),
+            adversary=AdversarySpec("crash", rate=0.3, seed=4, policy="reroute"),
+            strikes=2,
+        )
+        final = res.final_graph()
+        assert star_target(final)
+        assert final.number_of_nodes() < 16
+
+    def test_churn_adversary_heals_with_joined_nodes(self):
+        res = run_star_self_healing(
+            graphs.make("ring", 12),
+            adversary=AdversarySpec("churn", rate=0.5, seed=8, policy="reroute"),
+            strikes=3,
+        )
+        assert star_target(res.final_graph())

@@ -1,0 +1,227 @@
+"""Tests for the engine's round-boundary adversary integration."""
+
+import networkx as nx
+import pytest
+
+from repro.dynamics import (
+    ChurnSchedule,
+    EdgeDropAdversary,
+    ScriptedAdversary,
+)
+from repro.engine import NodeProgram, SynchronousRunner, run_program
+from repro.errors import ExecutionError
+
+
+class IdleUntil(NodeProgram):
+    """Topology-agnostic program: idles until a fixed round, then halts."""
+
+    rounds = 20
+
+    def transition(self, ctx, inbox):
+        if ctx.round >= self.rounds:
+            self.halt()
+
+
+class DegreeEcho(NodeProgram):
+    """Publishes its degree; used to check neighbors see perturbations."""
+
+    rounds = 20
+
+    def __init__(self, uid):
+        super().__init__(uid)
+        self.seen = {}
+
+    def public(self):
+        return {"degree": None}
+
+    def transition(self, ctx, inbox):
+        self.seen[ctx.round] = frozenset(ctx.neighbors)
+        if ctx.round >= self.rounds:
+            self.halt()
+
+
+def run_idle(graph, adversary=None, **kwargs):
+    return run_program(graph, IdleUntil, adversary=adversary, **kwargs)
+
+
+class TestEdgeEvents:
+    def test_scripted_drop_visible_at_start_of_named_round(self):
+        adv = ScriptedAdversary({5: {"drops": [(0, 1)]}})
+        res = run_program(nx.cycle_graph(6), DegreeEcho, adversary=adv)
+        prog = res.program(0)
+        assert 1 in prog.seen[4]
+        assert 1 not in prog.seen[5]
+
+    def test_scripted_add_folds_into_original(self):
+        adv = ScriptedAdversary({5: {"adds": [(0, 3)]}})
+        res = run_idle(nx.cycle_graph(6), adv)
+        assert res.network.has_edge(0, 3)
+        assert res.network.is_original(0, 3)
+        # adversary wiring never counts toward the paper's measures
+        assert res.metrics.total_activations == 0
+        assert res.metrics.max_activated_edges == 0
+        assert res.metrics.adversary_edge_adds == 1
+
+    def test_dropping_an_activated_edge_updates_activated_subgraph(self):
+        class ActivateOnce(NodeProgram):
+            def transition(self, ctx, inbox):
+                if ctx.round == 1 and self.uid == 0:
+                    ctx.activate(2)
+                if ctx.round >= 10:
+                    self.halt()
+
+        adv = ScriptedAdversary({5: {"drops": [(0, 2)]}})
+        res = run_program(nx.cycle_graph(6), ActivateOnce, adversary=adv)
+        assert res.metrics.max_activated_edges == 1  # watermark is historical
+        assert res.network.activated_edges() == set()
+
+
+class TestCrashes:
+    def test_crash_retires_program_and_node(self):
+        adv = ScriptedAdversary({5: {"crashes": [3]}})
+        res = run_idle(nx.cycle_graph(6), adv)
+        assert res.program(3).crashed
+        assert res.program(3).halted
+        assert 3 not in res.network.nodes
+        assert res.metrics.adversary_crashes == 1
+        # the crashed node's incident edges count as adversary drops
+        assert res.metrics.adversary_edge_drops == 2
+
+    def test_crashed_node_runs_no_further_round(self):
+        adv = ScriptedAdversary({5: {"crashes": [3], "adds": [(2, 4)]}})
+        res = run_program(nx.cycle_graph(6), DegreeEcho, adversary=adv)
+        assert max(res.program(3).seen) == 4
+        assert max(res.program(0).seen) == DegreeEcho.rounds
+
+    def test_crash_disconnecting_guarded_run_raises(self):
+        adv = ScriptedAdversary({5: {"crashes": [1]}})  # cut vertex of a path
+        with pytest.raises(ExecutionError, match="adversary disconnected"):
+            run_idle(nx.path_graph(4), adv, check_connectivity=True)
+
+    def test_crash_with_reroute_keeps_guarded_run_alive(self):
+        adv = ScriptedAdversary({5: {"crashes": [1], "adds": [(0, 2)]}})
+        res = run_idle(nx.path_graph(4), adv, check_connectivity=True)
+        assert res.network.is_connected()
+
+
+class TestJoins:
+    def test_join_spawns_program_via_factory(self):
+        adv = ScriptedAdversary({5: {"joins": [(100, (0, 3))]}})
+        res = run_program(nx.cycle_graph(6), DegreeEcho, adversary=adv)
+        assert 100 in res.network.nodes
+        assert res.network.has_edge(100, 0) and res.network.has_edge(100, 3)
+        joined = res.program(100)
+        # spawned at the boundary before round 5: that is its first round
+        assert min(joined.seen) == 5
+        assert max(joined.seen) == DegreeEcho.rounds
+        assert res.metrics.adversary_joins == 1
+
+    def test_join_updates_knows_n(self):
+        captured = {}
+
+        class RecordN(NodeProgram):
+            def transition(self, ctx, inbox):
+                captured[ctx.round] = ctx.n
+                if ctx.round >= 10:
+                    self.halt()
+
+        adv = ScriptedAdversary({5: {"joins": [(100, (0,))]}})
+        run_program(nx.cycle_graph(6), RecordN, adversary=adv, knows_n=True)
+        assert captured[4] == 6
+        assert captured[5] == 7
+
+    def test_duplicate_join_is_skipped(self):
+        adv = ScriptedAdversary({5: {"joins": [(2, (0,)), (100, (0,))]}})
+        res = run_idle(nx.cycle_graph(6), adv)
+        assert res.metrics.adversary_joins == 1
+        assert len(res.programs) == 7
+
+    def test_join_reusing_a_crashed_uid_is_skipped_everywhere(self):
+        # Regression: the network must not gain a zombie node (no program)
+        # when a join names the uid of a previously crashed node.
+        adv = ScriptedAdversary({4: {"crashes": [5]}, 8: {"joins": [(5, (0, 2))]}})
+        res = run_idle(nx.cycle_graph(6), adv)
+        assert 5 not in res.network.nodes
+        assert res.program(5).crashed
+        assert res.metrics.adversary_joins == 0
+        assert set(res.network.nodes) == set(res.programs) - {5}
+
+    def test_churn_never_reuses_crashed_uids(self):
+        # Regression: after high-uid nodes crash, fresh join uids must
+        # still clear every uid that ever existed.
+        from repro.dynamics import ChurnSchedule
+
+        adv = ChurnSchedule(0.35, seed=11, policy="reroute", start=4, period=6)
+        res = run_program(
+            nx.cycle_graph(14), type("I25", (IdleUntil,), {"rounds": 25}),
+            adversary=adv, collect_trace=True, check_connectivity=True,
+        )
+        # every network node is animated by a live (non-crashed) program
+        for uid in res.network.nodes:
+            assert uid in res.programs and not res.programs[uid].crashed
+        joined = [uid for p in res.trace.perturbations for uid, _ in p.joins]
+        assert len(joined) == len(set(joined))
+        assert all(uid >= 14 for uid in joined)
+
+
+class TestDeterminismAndTrace:
+    def test_same_adversary_seed_same_history(self):
+        def history(seed):
+            adv = ChurnSchedule(0.4, seed=seed, policy="reroute", start=3, period=4)
+            res = run_idle(nx.cycle_graph(10), adv, collect_trace=True)
+            return [
+                (p.round, sorted(p.drops), sorted(p.adds), p.crashes, p.joins)
+                for p in res.trace.perturbations
+            ]
+
+        h1, h2 = history(7), history(7)
+        assert h1 == h2 and h1  # non-empty and reproducible
+
+    def test_trace_interleaves_perturbations(self):
+        adv = EdgeDropAdversary(1.0, seed=1, policy="skip", start=5, period=100)
+        res = run_idle(nx.cycle_graph(8), adv, collect_trace=True)
+        assert [p.round for p in res.trace.perturbations] == [5]
+        pert = res.trace.perturbations[0]
+        assert pert.drops and not pert.crashes
+
+    def test_no_adversary_means_no_perturbation_records(self):
+        res = run_idle(nx.cycle_graph(6), None, collect_trace=True)
+        assert res.trace.perturbations == []
+        assert res.metrics.adversary_events == 0
+
+    def test_runner_run_accepts_adversary_argument(self):
+        adv = ScriptedAdversary({5: {"drops": [(0, 1)]}})
+        runner = SynchronousRunner(nx.cycle_graph(6), IdleUntil, collect_trace=True)
+        res = runner.run(adversary=adv)
+        assert [p.round for p in res.trace.perturbations] == [5]
+
+
+class TestBarrierEpochInTrace:
+    def test_round_records_carry_barrier_epochs(self):
+        class TwoSegments(NodeProgram):
+            def transition(self, ctx, inbox):
+                if ctx.barrier_epoch == 0 and ctx.round >= 3:
+                    self.barrier_ready = True
+                elif ctx.barrier_epoch == 1 and ctx.round >= 6:
+                    self.halt()
+
+        res = run_program(
+            nx.path_graph(4), TwoSegments, use_barrier=True, collect_trace=True
+        )
+        epochs = [r.barrier_epoch for r in res.trace]
+        assert epochs[0] == 0
+        assert epochs[-1] == 1
+        assert sorted(set(epochs)) == [0, 1]
+
+
+class TestJoinBatchDedup:
+    def test_duplicate_uid_within_one_batch_spawns_once(self):
+        # Regression: two joins with the same uid in one perturbation must
+        # yield exactly one program, one node, and one recorded join.
+        adv = ScriptedAdversary({2: {"joins": [(100, (0,)), (100, (1,))]}})
+        res = run_program(nx.path_graph(8), DegreeEcho, adversary=adv, collect_trace=True)
+        assert res.metrics.adversary_joins == 1
+        assert len(res.programs) == 9
+        assert sum(1 for p in res.trace.perturbations for _ in p.joins) == 1
+        # the surviving join's attach edges really exist
+        assert res.network.has_edge(100, 0)

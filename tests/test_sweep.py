@@ -153,3 +153,33 @@ class TestRunSweepCompat:
             {"g2s": run_graph_to_star}, ["line"], [8, 16], parallel=True, max_workers=2
         )
         assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+
+
+class TestAdversarySweeps:
+    def test_heal_scenarios_registered(self):
+        names = registered_algorithms()
+        assert "star-heal" in names and "wreath-heal" in names
+
+    def test_perturbed_cells_carry_spec_and_label(self):
+        from repro.dynamics import AdversarySpec
+
+        spec = AdversarySpec("drop", rate=0.2, seed=3, policy="reroute")
+        plan = SweepPlan.grid(["star-heal"], ["ring"], [16], adversary=spec)
+        assert all(cell.adversary == spec for cell in plan.cells)
+        result = plan.run()
+        assert result.rows[0].extra["adversary"] == spec.label()
+
+    def test_perturbed_parallel_sweep_byte_identical_to_serial(self):
+        from repro.dynamics import AdversarySpec
+
+        spec = AdversarySpec("drop", rate=0.2, seed=3, policy="reroute")
+        plan = SweepPlan.grid(
+            ["star-heal"], ["ring", "line"], [12, 16], adversary=spec
+        )
+        serial = plan.run()
+        parallel = plan.run(parallel=True, max_workers=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_unperturbed_cells_have_no_adversary_column(self):
+        result = SweepPlan.grid(["star"], ["ring"], [12]).run()
+        assert "adversary" not in result.rows[0].as_dict()

@@ -1,0 +1,60 @@
+"""Round-trip tests for Trace JSONL serialization."""
+
+import networkx as nx
+
+from repro import graphs
+from repro.core import run_graph_to_star, run_graph_to_wreath
+from repro.dynamics import ChurnSchedule
+from repro.engine import NodeProgram, Trace, run_program
+
+
+class Idle(NodeProgram):
+    def transition(self, ctx, inbox):
+        if ctx.round >= 15:
+            self.halt()
+
+
+def roundtrip(trace: Trace) -> Trace:
+    return Trace.from_jsonl(trace.to_jsonl())
+
+
+class TestRoundTrip:
+    def test_star_run_roundtrips_in_memory(self):
+        res = run_graph_to_star(graphs.make("ring", 16), collect_trace=True)
+        back = roundtrip(res.trace)
+        assert back.records == res.trace.records
+        assert back.perturbations == res.trace.perturbations == []
+
+    def test_roundtrip_through_a_file(self, tmp_path):
+        res = run_graph_to_star(graphs.make("line", 12), collect_trace=True)
+        path = tmp_path / "trace.jsonl"
+        payload = res.trace.to_jsonl(path)
+        assert path.read_text() == payload
+        back = Trace.from_jsonl(path)
+        assert back.records == res.trace.records
+
+    def test_barrier_epochs_survive(self):
+        res = run_graph_to_wreath(graphs.make("line", 12), collect_trace=True)
+        back = roundtrip(res.trace)
+        assert [r.barrier_epoch for r in back] == [r.barrier_epoch for r in res.trace]
+        assert max(r.barrier_epoch for r in back) >= 1
+
+    def test_perturbations_survive(self):
+        adv = ChurnSchedule(0.4, seed=6, policy="reroute", start=4, period=4)
+        res = run_program(nx.cycle_graph(10), Idle, adversary=adv, collect_trace=True)
+        assert res.trace.perturbations  # the schedule actually fired
+        back = roundtrip(res.trace)
+        assert back.records == res.trace.records
+        assert back.perturbations == res.trace.perturbations
+
+    def test_empty_trace(self):
+        back = roundtrip(Trace())
+        assert back.records == [] and back.perturbations == []
+
+    def test_payload_is_deterministic_jsonl(self):
+        res = run_graph_to_star(graphs.make("ring", 12), collect_trace=True)
+        a = res.trace.to_jsonl()
+        b = roundtrip(res.trace).to_jsonl()
+        assert a == b
+        for line in a.strip().splitlines():
+            assert line.startswith('{"')
