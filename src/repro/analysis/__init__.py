@@ -3,6 +3,7 @@
 from .fitting import MODELS, best_model, fit_constant, growth_exponent
 from .potential import KnowledgeReplay, initial_potential
 from .sweep import (
+    CENTRALIZED_ALGORITHMS,
     SweepCell,
     SweepPlan,
     SweepResult,
@@ -17,6 +18,7 @@ from .symmetry import LiveRoundProfile, live_round_profile, symmetry_ratio
 from .tables import format_table, print_table
 
 __all__ = [
+    "CENTRALIZED_ALGORITHMS",
     "KnowledgeReplay",
     "LiveRoundProfile",
     "MODELS",

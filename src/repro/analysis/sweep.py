@@ -30,8 +30,14 @@ from typing import Callable, Iterable, Sequence
 import networkx as nx
 
 from ..dynamics.adversary import AdversarySpec, make_adversary
+from ..engine.runner import resolve_backend
 from ..errors import ConfigurationError
 from ..graphs import diameter, families, max_degree
+
+#: Registered algorithms that run a centralized strategy instead of the
+#: per-node engine: they take no ``backend`` (there is no round loop to
+#: swap) and no adversary.
+CENTRALIZED_ALGORITHMS = ("euler", "cut-in-half")
 
 
 @dataclass
@@ -154,12 +160,19 @@ def registered_algorithms() -> list[str]:
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One (algorithm, family, n, seed[, adversary]) cell of a sweep grid.
+    """One (algorithm, family, n, seed[, adversary, backend]) sweep cell.
 
     ``adversary`` is an :class:`AdversarySpec` (picklable, hashable), not
     an adversary instance: each cell constructs its own seeded adversary
     at execution time, so perturbed cells stay byte-deterministic under
     parallel execution exactly like unperturbed ones.
+
+    ``backend`` selects the engine backend (``"reference"``/``"dense"``;
+    DESIGN.md, "Engine backends").  ``None`` defers to the runner's
+    default (the ``REPRO_BACKEND`` environment variable, then
+    ``"reference"``); either way the resolved name is stamped into the
+    row's ``backend`` column, so persisted tables always record which
+    engine measured them.
     """
 
     algorithm: str
@@ -167,20 +180,30 @@ class SweepCell:
     n: int
     seed: int = 0
     adversary: AdversarySpec | None = None
+    backend: str | None = None
 
 
 def _execute_cell(cell: SweepCell, runner: Callable, runner_kwargs: dict) -> SweepRow:
     """Run one cell (also the process-pool task; must stay module-level)."""
     graph = families.make(cell.family, cell.n, seed=cell.seed)
+    kwargs = dict(runner_kwargs)
     if cell.adversary is not None:
-        result = runner(graph, adversary=make_adversary(cell.adversary), **runner_kwargs)
-    else:
-        result = runner(graph, **runner_kwargs)
+        kwargs["adversary"] = make_adversary(cell.adversary)
+    centralized = cell.algorithm in CENTRALIZED_ALGORITHMS
+    if cell.backend is not None:
+        if centralized:
+            raise ConfigurationError(
+                f"algorithm {cell.algorithm!r} is centralized and takes no backend"
+            )
+        kwargs["backend"] = cell.backend
+    result = runner(graph, **kwargs)
     row = measure(cell.algorithm, cell.family, graph, result)
     if cell.seed:
         row.extra["seed"] = cell.seed
     if cell.adversary is not None:
         row.extra["adversary"] = cell.adversary.label()
+    if not centralized:
+        row.extra["backend"] = resolve_backend(cell.backend)
     return row
 
 
@@ -207,18 +230,20 @@ class SweepPlan:
         *,
         seeds: Iterable[int] = (0,),
         adversary: AdversarySpec | None = None,
+        backend: str | None = None,
         runner_kwargs: dict | None = None,
     ) -> "SweepPlan":
         """The full cross product algorithms × families × sizes × seeds.
 
         ``adversary`` stamps every cell with the same perturbation spec
         (each cell still gets its own fresh, identically-seeded
-        adversary instance at execution time).
+        adversary instance at execution time); ``backend`` stamps every
+        cell with the same engine backend.
         """
         runners = dict(algorithms) if isinstance(algorithms, dict) else {}
         names = list(algorithms)
         cells = [
-            SweepCell(a, f, n, s, adversary)
+            SweepCell(a, f, n, s, adversary, backend)
             for a in names
             for f in family_names
             for n in sizes

@@ -3,10 +3,12 @@
 Usage::
 
     python -m repro --algorithm star --family line --n 128
+    python -m repro --algorithm star --family ring --n 1024 --backend dense
     python -m repro --algorithm wreath --family ring --n 64 --trace
     python -m repro --algorithm star-heal --family ring --n 64 --adversary drop
     python -m repro --list
     python -m repro sweep -a star,euler -f ring,line --sizes 32,64 --parallel
+    python -m repro sweep -a star -f ring --sizes 256,512 --backend dense
     python -m repro sweep -a star-heal -f ring --sizes 32 --adversary drop --adversary-policy reroute
     python -m repro sweep -a star -f ring --sizes 64 --json rows.json --csv rows.csv
 """
@@ -17,8 +19,16 @@ import argparse
 import sys
 
 from . import graphs
-from .analysis import SweepPlan, get_algorithm, measure, print_table, registered_algorithms
+from .analysis import (
+    CENTRALIZED_ALGORITHMS,
+    SweepPlan,
+    get_algorithm,
+    measure,
+    print_table,
+    registered_algorithms,
+)
 from .dynamics import ADVERSARY_KINDS, POLICIES, AdversarySpec, make_adversary
+from .engine import BACKENDS, resolve_backend
 
 #: Display names for the registered algorithms (the runners themselves
 #: live in the analysis scenario registry; see DESIGN.md).
@@ -58,13 +68,19 @@ _csv_list.__name__ = "name list"
 _csv_ints.__name__ = "integer list"
 
 
-def _add_adversary_flags(parser, *, subcommand: bool = False) -> None:
+def _add_engine_flags(parser, *, subcommand: bool = False) -> None:
+    """Flags shared by the root run parser and the sweep subparser."""
     # The sweep subparser shares these dests with the root parser; its
     # defaults must not clobber values already parsed before the
     # subcommand (`repro --adversary drop sweep ...`), hence SUPPRESS.
     def default(value):
         return argparse.SUPPRESS if subcommand else value
 
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=default(None),
+        help="engine backend (default: $REPRO_BACKEND, then 'reference'; "
+             "both produce byte-identical traces — see DESIGN.md)",
+    )
     parser.add_argument(
         "--adversary", choices=ADVERSARY_KINDS, default=default(None),
         help="external perturbation schedule (see repro.dynamics)",
@@ -106,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true", help="print per-round activations")
     parser.add_argument("--check-connectivity", action="store_true")
     parser.add_argument("--list", action="store_true", help="list algorithms and families")
-    _add_adversary_flags(parser)
+    _add_engine_flags(parser)
 
     sub = parser.add_subparsers(dest="command")
     sweep = sub.add_parser(
@@ -129,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=_csv_ints, default=[0],
         help="comma-separated UID permutation seeds",
     )
-    _add_adversary_flags(sweep, subcommand=True)
+    _add_engine_flags(sweep, subcommand=True)
     sweep.add_argument("--parallel", action="store_true", help="use a process pool")
     sweep.add_argument("--workers", type=int, default=None, help="process-pool size")
     sweep.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
@@ -152,6 +168,20 @@ def _reject_adversary_incapable(args, algorithms) -> str | None:
     )
 
 
+def _reject_backend_incapable(args, algorithms) -> str | None:
+    """The error message for --backend on a centralized strategy, if any."""
+    if args.backend is None:
+        return None
+    bad = [a for a in algorithms if a in CENTRALIZED_ALGORITHMS]
+    if not bad:
+        return None
+    return (
+        f"--backend is not supported for {', '.join(sorted(bad))}: "
+        f"centralized strategies have no per-node round loop to swap "
+        f"(see DESIGN.md, 'Engine backends')"
+    )
+
+
 def _main_sweep(args) -> int:
     from .errors import ConfigurationError
 
@@ -166,13 +196,15 @@ def _main_sweep(args) -> int:
             print(f"unknown family {family!r}; known: {sorted(graphs.FAMILIES)}",
                   file=sys.stderr)
             return 2
-    error = _reject_adversary_incapable(args, args.algorithms)
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 2
+    for check in (_reject_adversary_incapable, _reject_backend_incapable):
+        error = check(args, args.algorithms)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
     plan = SweepPlan.grid(
         args.algorithms, args.families, args.sizes,
         seeds=args.seeds, adversary=_adversary_spec(args),
+        backend=args.backend,
     )
     result = plan.run(
         parallel=args.parallel,
@@ -201,18 +233,22 @@ def main(argv=None) -> int:
         print("\nfamilies:", ", ".join(sorted(graphs.FAMILIES)))
         return 0
 
-    error = _reject_adversary_incapable(args, [args.algorithm])
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 2
+    for check in (_reject_adversary_incapable, _reject_backend_incapable):
+        error = check(args, [args.algorithm])
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
     graph = graphs.make(args.family, args.n, seed=args.seed)
     desc = DESCRIPTIONS[args.algorithm]
     runner = get_algorithm(args.algorithm)
+    centralized = args.algorithm in CENTRALIZED_ALGORITHMS
     kwargs = {}
     if args.trace:
         kwargs["collect_trace"] = True
-    if args.check_connectivity and args.algorithm not in ("euler", "cut-in-half"):
+    if args.check_connectivity and not centralized:
         kwargs["check_connectivity"] = True
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
     spec = _adversary_spec(args)
     if spec is not None:
         kwargs["adversary"] = make_adversary(spec)
@@ -221,6 +257,8 @@ def main(argv=None) -> int:
     row = measure(args.algorithm, args.family, graph, result).as_dict()
     if spec is not None:
         row["adversary"] = spec.label()
+    if not centralized:
+        row["backend"] = resolve_backend(args.backend)
     print_table([row], title=f"{desc} on {args.family} (n={graph.number_of_nodes()})")
     recovery = getattr(result, "recovery", None)
     if recovery is not None:

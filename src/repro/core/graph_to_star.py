@@ -61,44 +61,60 @@ class GraphToStarProgram(NodeProgram):
         self._jump_target = None
         self._defer_merge = False
         self._foreign_exists = False
+        self._public_key = None
         self._refresh_public()
 
     # ------------------------------------------------------------------
 
     def _refresh_public(self) -> None:
+        # Rebind a fresh record only when a public field actually changed:
+        # neighbors hold references to the previous round's record, so an
+        # unchanged record may be reused but never mutated in place.
+        key = (
+            self.cid,
+            self.is_leader,
+            self.mode,
+            self.merge_target,
+            self.last_link,
+            self.target_link,
+        )
+        if key == self._public_key:
+            return
+        self._public_key = key
         self._public = {
-            "cid": self.cid,
-            "is_leader": self.is_leader,
-            "mode": self.mode,
-            "merge_target": self.merge_target,
-            "last_link": self.last_link,
-            "target_link": self.target_link,
+            "cid": key[0],
+            "is_leader": key[1],
+            "mode": key[2],
+            "merge_target": key[3],
+            "last_link": key[4],
+            "target_link": key[5],
         }
 
     def public(self) -> dict:
         return self._public
 
-    @staticmethod
-    def _phase_round(ctx) -> tuple[int, int]:
-        return (ctx.round - 1) // PHASE_LEN, (ctx.round - 1) % PHASE_LEN
-
     # ------------------------------------------------------------------
 
     def compose(self, ctx) -> dict | None:
-        phase, pr = self._phase_round(ctx)
-        if pr == 2 and not self.is_leader and self.cid in ctx.neighbors:
-            leader_mode = ctx.neighbor_public(self.cid)["mode"]
-            if leader_mode in (Mode.SELECTION, Mode.WAITING):
-                return {self.cid: ("report", self._foreign)}
+        if (ctx.round - 1) % PHASE_LEN == 2 and not self.is_leader:
+            cid = self.cid
+            if cid in ctx.neighbors:
+                leader_mode = ctx.public_of(cid)["mode"]
+                if leader_mode in (Mode.SELECTION, Mode.WAITING):
+                    return {cid: ("report", self._foreign)}
         return None
 
     def transition(self, ctx, inbox) -> None:
-        phase, pr = self._phase_round(ctx)
+        phase, pr = divmod(ctx.round - 1, PHASE_LEN)
         if self.is_leader:
             self._leader_step(ctx, inbox, phase, pr)
+            if pr:  # r0 only resets per-phase scratch, never public state
+                self._refresh_public()
         else:
-            self._follower_step(ctx, phase, pr)
-        self._refresh_public()
+            if pr != 3:  # r3 is a leader-only round; followers idle through it
+                self._follower_step(ctx, phase, pr)
+            if pr == 0 or pr == 2:  # the only follower rounds touching public state
+                self._refresh_public()
 
     # ------------------------------------------------------------------
     # follower behaviour
@@ -160,10 +176,12 @@ class GraphToStarProgram(NodeProgram):
 
     def _sense(self, ctx) -> None:
         foreign = []
-        for y in ctx.neighbors:
-            rec = ctx.neighbor_public(y)
-            if rec["cid"] != self.cid:
-                foreign.append((rec["cid"], rec["mode"], y, self.uid))
+        cid = self.cid
+        uid = self.uid
+        for y, rec in ctx.neighbor_publics():
+            c = rec["cid"]
+            if c != cid:
+                foreign.append((c, rec["mode"], y, uid))
         self._foreign = foreign
         if self.is_leader:
             self._foreign_exists = bool(foreign)
@@ -290,8 +308,7 @@ class GraphToStarProgram(NodeProgram):
         return self._has_children(ctx)
 
     def _has_children(self, ctx) -> bool:
-        for v in ctx.neighbors:
-            rec = ctx.neighbor_public(v)
+        for _v, rec in ctx.neighbor_publics():
             if (
                 rec["cid"] != self.cid
                 and rec["is_leader"]

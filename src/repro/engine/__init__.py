@@ -1,18 +1,30 @@
 """Synchronous actively-dynamic-network simulation engine."""
 
-from .actions import RoundActions, edge_key
+from .actions import RoundActions, canonical_view, edge_key
 from .centralized import CentralizedResult, CentralizedStrategy, run_centralized
+from .dense import DenseConnectivityTracker, DenseContext, DenseNetwork, DenseRunner
 from .metrics import Metrics, MetricsRecorder
 from .network import ConnectivityTracker, Network
 from .program import Context, NodeProgram
-from .runner import RunResult, SynchronousRunner, run_program
+from .runner import (
+    BACKENDS,
+    RunResult,
+    SynchronousRunner,
+    resolve_backend,
+    run_program,
+)
 from .trace import PerturbationRecord, RoundRecord, Trace
 
 __all__ = [
+    "BACKENDS",
     "CentralizedResult",
     "CentralizedStrategy",
     "ConnectivityTracker",
     "Context",
+    "DenseConnectivityTracker",
+    "DenseContext",
+    "DenseNetwork",
+    "DenseRunner",
     "Metrics",
     "MetricsRecorder",
     "Network",
@@ -23,7 +35,9 @@ __all__ = [
     "RunResult",
     "SynchronousRunner",
     "Trace",
+    "canonical_view",
     "edge_key",
+    "resolve_backend",
     "run_centralized",
     "run_program",
 ]

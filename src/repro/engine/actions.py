@@ -26,6 +26,29 @@ def edge_key(u, v) -> tuple:
         return (u, v) if _type_order(u) <= _type_order(v) else (v, u)
 
 
+def canonical_view(members) -> frozenset:
+    """A neighborhood snapshot with *canonical* iteration order.
+
+    Program-visible neighbor views must iterate identically on every
+    engine backend, or a program that acts while looping over
+    ``ctx.neighbors`` could legally produce different (all individually
+    deterministic) traces per backend.  A CPython set's iteration order
+    depends on its insertion/deletion history, not only its contents —
+    so both backends build views through this one helper: inserting in
+    sorted order makes the layout a pure function of the contents *and
+    their hashes*, and byte-identical traces become a well-defined
+    equivalence oracle (DESIGN.md, "Engine backends").  Note the hash
+    caveat: for salted-hash labels (strings under ``PYTHONHASHSEED``)
+    the order is canonical only within one process — which is exactly
+    what cross-backend equivalence needs; int uids (every built-in
+    family) are canonical across processes too.
+    """
+    try:
+        return frozenset(sorted(members))
+    except TypeError:
+        return frozenset(sorted(members, key=_type_order))
+
+
 @dataclass
 class RoundActions:
     """Activation/deactivation requests gathered from all nodes in a round.

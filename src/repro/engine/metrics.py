@@ -17,7 +17,13 @@ from .network import Network
 
 @dataclass
 class Metrics:
-    """Aggregated measurements of one execution."""
+    """Aggregated measurements of one execution.
+
+    Dataclass equality compares every field — including the per-round
+    activation series and the adversary counters — which makes ``==``
+    the cross-backend differential oracle's second channel alongside
+    byte-identical traces (DESIGN.md, "Engine backends").
+    """
 
     rounds: int = 0
     total_activations: int = 0

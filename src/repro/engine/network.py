@@ -21,7 +21,7 @@ from typing import Iterable, Iterator
 import networkx as nx
 
 from ..errors import ConfigurationError, ProtocolViolation
-from .actions import RoundActions, edge_key
+from .actions import RoundActions, canonical_view, edge_key
 
 
 class Network:
@@ -76,11 +76,13 @@ class Network:
         adversarial) programs cannot edit adjacency behind the legality
         rules' back.  Snapshots are cached per node and invalidated only
         when :meth:`apply` changes that node's adjacency, so repeated calls
-        within a round are O(1).
+        within a round are O(1).  Views are built via
+        :func:`canonical_view`, so their iteration order is a pure
+        function of their contents — identical on every backend.
         """
         view = self._frozen.get(u)
         if view is None:
-            view = self._frozen[u] = frozenset(self._adj[u])
+            view = self._frozen[u] = canonical_view(self._adj[u])
         return view
 
     def degree(self, u) -> int:
@@ -102,6 +104,11 @@ class Network:
     def activated_edges(self) -> set:
         """``E(i) \\ E(1)``: currently active edges not in the original set."""
         return self._active - self._original
+
+    @property
+    def num_activated_edges(self) -> int:
+        """``|E(i) \\ E(1)|``."""
+        return len(self._active - self._original)
 
     def potential_neighbors(self, u) -> set:
         """``N_2(u)``: nodes at distance exactly two from ``u``."""
@@ -263,6 +270,11 @@ class Network:
             del adj[u]
             frozen.pop(u, None)
             nodes.discard(u)
+            # A crashed node leaves E(1) entirely: purge baseline keys of
+            # its currently *inactive* (deactivated) original edges too,
+            # so is_original never answers for a node that no longer
+            # exists.  Cold path: crashes are rare adversary events.
+            original = {e for e in original if u not in e}
 
         for u, v in drops:
             if v not in adj.get(u, ()):

@@ -72,6 +72,17 @@ class Context:
             raise ProtocolViolation(f"{self.uid} read public state of non-neighbor {v}")
         return self._publics[v]
 
+    def neighbor_publics(self) -> list:
+        """All of this round's broadcasts, as ``(neighbor, record)`` pairs.
+
+        The bulk equivalent of looping ``ctx.neighbor_public(y)`` over
+        ``ctx.neighbors``: every read is within the neighborhood by
+        construction, so the per-read neighbor check is dropped.  Pairs
+        follow the canonical neighbor-view order.
+        """
+        publics = self._publics
+        return [(v, publics[v]) for v in self._network.neighbors(self.uid)]
+
     def public_of(self, v) -> dict:
         """Unchecked public-record access (engine/analysis use only)."""
         return self._publics[v]

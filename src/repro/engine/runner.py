@@ -14,6 +14,7 @@ Hot-path design (see DESIGN.md, "Engine hot path"):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -25,6 +26,20 @@ from .metrics import Metrics, MetricsRecorder
 from .network import ConnectivityTracker, Network
 from .program import Context, NodeProgram
 from .trace import PerturbationRecord, RoundRecord, Trace
+
+#: The available engine backends (see DESIGN.md, "Engine backends").
+BACKENDS = ("reference", "dense")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve an explicit backend name, the ``REPRO_BACKEND`` environment
+    default, or the built-in ``"reference"`` default — in that order."""
+    name = backend if backend is not None else os.environ.get("REPRO_BACKEND") or "reference"
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown engine backend {name!r}; known backends: {BACKENDS}"
+        )
+    return name
 
 
 @dataclass
@@ -79,7 +94,26 @@ class SynchronousRunner:
         are spawned through ``program_factory``.  ``None`` (the default)
         keeps the round loop on the unperturbed hot path — the only cost
         is one ``is None`` test per round.
+    backend:
+        ``"reference"`` (this class) or ``"dense"`` (the index-interned
+        backend in :mod:`repro.engine.dense`).  The two backends produce
+        byte-identical traces and equal :class:`Metrics` for every
+        program; ``None`` falls back to the ``REPRO_BACKEND`` environment
+        variable, then to ``"reference"``.  See DESIGN.md, "Engine
+        backends".
     """
+
+    #: Which backend this runner class implements (subclasses override).
+    backend_name = "reference"
+    #: The per-node context class this backend hands to programs.
+    _context_cls = Context
+
+    def __new__(cls, *args, backend: str | None = None, **kwargs):
+        if cls is SynchronousRunner and resolve_backend(backend) == "dense":
+            from .dense import DenseRunner
+
+            return object.__new__(DenseRunner)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -93,8 +127,15 @@ class SynchronousRunner:
         collect_trace: bool = False,
         max_rounds: int | None = None,
         adversary=None,
+        backend: str | None = None,
     ) -> None:
-        self.network = Network(graph)
+        if backend is not None and resolve_backend(backend) != self.backend_name:
+            raise ConfigurationError(
+                f"backend {backend!r} does not match this runner class "
+                f"({self.backend_name!r}); pass backend= to SynchronousRunner"
+            )
+        self.backend = self.backend_name
+        self.network = self._make_network(graph)
         self.programs: dict = {uid: program_factory(uid) for uid in self.network.nodes}
         for uid, prog in self.programs.items():
             if prog.uid != uid:
@@ -116,8 +157,20 @@ class SynchronousRunner:
         self._contexts: dict = {}
         self._dirty: set = set()
         self._actions = RoundActions()
-        self._conn = ConnectivityTracker(self.network) if check_connectivity else None
+        self._conn = self._make_tracker() if check_connectivity else None
         self._n_dynamic = adversary is not None
+
+    # -- backend hooks (overridden by the dense backend) ----------------
+
+    @staticmethod
+    def _make_network(graph: nx.Graph) -> Network:
+        return Network(graph)
+
+    def _make_tracker(self):
+        return ConnectivityTracker(self.network)
+
+    def _post_setup(self) -> None:
+        """Hook run after setup()/halt pruning, before the first round."""
 
     # ------------------------------------------------------------------
 
@@ -125,7 +178,7 @@ class SynchronousRunner:
         """The node's reusable context, refreshed for the current round."""
         ctx = self._contexts.get(uid)
         if ctx is None:
-            ctx = Context(
+            ctx = self._context_cls(
                 uid=uid,
                 round_no=self.network.round,
                 publics=self._publics,
@@ -156,7 +209,7 @@ class SynchronousRunner:
         for uid, prog in programs.items():
             self._publics[uid] = prog.public()
         for uid, prog in programs.items():
-            ctx = Context(
+            ctx = self._context_cls(
                 uid=uid,
                 round_no=net.round,
                 publics=self._publics,
@@ -174,6 +227,7 @@ class SynchronousRunner:
         for uid in list(self._live):
             if programs[uid].halted:
                 del self._live[uid]
+        self._post_setup()
 
         recorder = MetricsRecorder(net)
         while self._live:
@@ -258,7 +312,7 @@ class SynchronousRunner:
                     activations=frozenset(activations),
                     deactivations=frozenset(deactivations),
                     active_edges=net.num_active_edges,
-                    activated_edges=len(net.activated_edges()),
+                    activated_edges=net.num_activated_edges,
                     connected=connected,
                     barrier_epoch=self.barrier_epoch,
                 )
@@ -339,6 +393,17 @@ class SynchronousRunner:
             self._contexts.pop(uid, None)
             self._dirty.discard(uid)
 
+        # A joined node's setup() reads its neighbors' *current* broadcast
+        # state: flush any still-dirty snapshots from the round that just
+        # ended before spawning (matches the dense backend, which
+        # re-snapshots eagerly at the end of every round).
+        if join_uids and self._dirty:
+            for uid in self._dirty:
+                prog = programs[uid]
+                self._publics[uid] = prog.public()
+                prog.public_dirty = False
+            self._dirty.clear()
+
         for uid in join_uids:
             prog = self.program_factory(uid)
             if prog.uid != uid:
@@ -346,7 +411,7 @@ class SynchronousRunner:
             programs[uid] = prog
             self._publics[uid] = prog.public()
             setup_actions = RoundActions()
-            ctx = Context(
+            ctx = self._context_cls(
                 uid=uid,
                 round_no=net.round,
                 publics=self._publics,
@@ -388,5 +453,9 @@ def _default_round_limit(n: int) -> int:
 
 
 def run_program(graph: nx.Graph, program_factory: Callable, **kwargs) -> RunResult:
-    """One-shot convenience wrapper around :class:`SynchronousRunner`."""
+    """One-shot convenience wrapper around :class:`SynchronousRunner`.
+
+    Accepts every runner keyword, including ``backend="dense"`` to run
+    on the index-interned backend (same traces, same metrics, faster).
+    """
     return SynchronousRunner(graph, program_factory, **kwargs).run()

@@ -1,0 +1,263 @@
+"""Cross-backend differential fuzzer: dense vs reference, trace for trace.
+
+The dense backend's contract (DESIGN.md, "Engine backends") is strict:
+for every scenario and every adversary schedule it must produce a
+**byte-identical JSONL trace** and **equal Metrics** to the reference
+backend.  This suite samples (algorithm, family, n, seed, adversary)
+cells across the whole scenario registry and asserts exactly that.
+
+Two tiers: a small deterministic corpus that runs in CI, and a larger
+``--runslow`` tier (``pytest --runslow``) that widens families, sizes,
+seeds, and adversary schedules.
+"""
+
+import pytest
+
+from repro.analysis import CENTRALIZED_ALGORITHMS, get_algorithm, registered_algorithms
+from repro.dynamics import AdversarySpec, ChurnSchedule, ScriptedAdversary, make_adversary
+from repro.engine import BACKENDS, Metrics, NodeProgram, SynchronousRunner, run_program
+from repro.engine.dense import DenseRunner
+from repro.errors import ConfigurationError
+from repro.graphs import families
+
+
+def _episode_traces(result):
+    """The JSONL trace(s) of a RunResult or SelfHealingResult."""
+    episodes = getattr(result, "episodes", None)
+    if episodes is not None:
+        return [ep.trace.to_jsonl() for ep in episodes]
+    return [result.trace.to_jsonl()]
+
+
+def _run_cell(algorithm, family, n, seed, adversary_spec, backend):
+    runner = get_algorithm(algorithm)
+    graph = families.make(family, n, seed=seed)
+    kwargs = {"collect_trace": True, "backend": backend}
+    if adversary_spec is not None:
+        kwargs["adversary"] = make_adversary(adversary_spec)
+    return runner(graph, **kwargs)
+
+
+def _assert_cell_equivalent(algorithm, family, n, seed=0, adversary_spec=None):
+    ref = _run_cell(algorithm, family, n, seed, adversary_spec, "reference")
+    dense = _run_cell(algorithm, family, n, seed, adversary_spec, "dense")
+    label = f"{algorithm}/{family}/n={n}/seed={seed}/adv={adversary_spec}"
+    assert _episode_traces(dense) == _episode_traces(ref), f"trace diverged: {label}"
+    assert dense.metrics == ref.metrics, f"metrics diverged: {label}"
+    assert dense.rounds == ref.rounds, f"rounds diverged: {label}"
+    recovery = getattr(ref, "recovery", None)
+    if recovery is not None:
+        assert dense.recovery.as_dict() == recovery.as_dict(), f"recovery diverged: {label}"
+
+
+# ----------------------------------------------------------------------
+# CI corpus: small, deterministic, covers every engine-backed scenario
+# ----------------------------------------------------------------------
+
+CI_CORPUS = [
+    ("star", "ring", 24, 0, None),
+    ("star", "line", 17, 0, None),
+    ("star", "gnp", 25, 0, None),
+    ("star", "random_tree", 21, 3, None),
+    ("star", "caterpillar", 24, 0, None),
+    ("wreath", "ring", 20, 0, None),
+    ("wreath", "line", 16, 2, None),
+    ("thin-wreath", "ring", 16, 0, None),
+    ("clique", "ring", 12, 0, None),
+    ("star-heal", "ring", 16, 0, None),
+    ("star-heal", "ring", 16, 0, AdversarySpec(kind="drop", rate=0.3, seed=5, policy="reroute")),
+    ("wreath-heal", "ring", 16, 0, None),
+    ("wreath-heal", "ring", 14, 0, AdversarySpec(kind="crash", rate=0.2, seed=3, policy="reroute")),
+]
+
+
+@pytest.mark.parametrize(
+    "algorithm,family,n,seed,adv",
+    CI_CORPUS,
+    ids=[f"{a}-{f}-n{n}-s{s}-{'adv' if x else 'plain'}" for a, f, n, s, x in CI_CORPUS],
+)
+def test_ci_corpus_cell_equivalent(algorithm, family, n, seed, adv):
+    _assert_cell_equivalent(algorithm, family, n, seed, adv)
+
+
+def test_registry_is_fully_covered():
+    """Every registered engine-backed scenario appears in some corpus cell."""
+    engine_backed = set(registered_algorithms()) - set(CENTRALIZED_ALGORITHMS)
+    covered = {cell[0] for cell in CI_CORPUS}
+    assert engine_backed <= covered, f"uncovered scenarios: {engine_backed - covered}"
+
+
+# ----------------------------------------------------------------------
+# runner-level adversary paths (mid-run churn, crashes, scripted joins)
+# ----------------------------------------------------------------------
+
+
+class _Chatterer(NodeProgram):
+    """A long-running program exercising messages, publics, and edges."""
+
+    def public(self):
+        return {"uid": self.uid, "seen": getattr(self, "_seen", 0)}
+
+    def compose(self, ctx):
+        if ctx.round % 3 == 0 and ctx.neighbors:
+            return {v: ("ping", self.uid) for v in ctx.neighbors}
+        return None
+
+    def transition(self, ctx, inbox):
+        self._seen = getattr(self, "_seen", 0) + len(inbox)
+        for v, rec in ctx.neighbor_publics():
+            assert rec["uid"] == v
+        if ctx.round >= 30:
+            self.halt()
+
+
+@pytest.mark.parametrize("policy", ["skip", "reroute"])
+def test_runner_churn_equivalent(policy):
+    adversary_factory = lambda: ChurnSchedule(  # noqa: E731
+        rate=0.3, seed=11, policy=policy, start=3, period=4
+    )
+    results = {}
+    for backend in BACKENDS:
+        graph = families.make("ring", 20)
+        results[backend] = run_program(
+            graph, _Chatterer, collect_trace=True,
+            adversary=adversary_factory(), backend=backend,
+        )
+    ref, dense = results["reference"], results["dense"]
+    assert dense.trace.to_jsonl() == ref.trace.to_jsonl()
+    assert dense.metrics == ref.metrics
+    assert set(dense.programs) == set(ref.programs)
+    assert {u: p.crashed for u, p in dense.programs.items()} == {
+        u: p.crashed for u, p in ref.programs.items()
+    }
+
+
+def test_runner_scripted_adversary_equivalent():
+    script = {
+        3: {"crashes": [2], "adds": [(0, 5)]},
+        6: {"joins": [(100, (0, 7))]},
+        9: {"drops": [(0, 5)], "adds": [(1, 9)]},
+    }
+    traces = {}
+    for backend in BACKENDS:
+        graph = families.make("ring", 12)
+        res = run_program(
+            graph, _Chatterer, collect_trace=True,
+            adversary=ScriptedAdversary(dict(script)), backend=backend,
+        )
+        traces[backend] = (res.trace.to_jsonl(), res.metrics)
+    assert traces["dense"] == traces["reference"]
+
+
+def test_runner_connectivity_guard_equivalent():
+    for backend in BACKENDS:
+        graph = families.make("ring", 16)
+        res = run_program(
+            graph, _Chatterer, collect_trace=True, check_connectivity=True,
+            adversary=ChurnSchedule(rate=0.2, seed=7, policy="reroute", start=2, period=3),
+            backend=backend,
+        )
+        assert res.trace.all_connected()
+
+
+# ----------------------------------------------------------------------
+# backend selection plumbing
+# ----------------------------------------------------------------------
+
+
+def test_backend_dispatch_and_validation(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    graph = families.make("ring", 8)
+    ref = SynchronousRunner(graph, _Chatterer)
+    assert type(ref) is SynchronousRunner and ref.backend == "reference"
+    dense = SynchronousRunner(graph, _Chatterer, backend="dense")
+    assert isinstance(dense, DenseRunner) and dense.backend == "dense"
+    with pytest.raises(ConfigurationError):
+        SynchronousRunner(graph, _Chatterer, backend="gpu")
+    with pytest.raises(ConfigurationError):
+        DenseRunner(graph, _Chatterer, backend="reference")
+
+
+def test_backend_env_default(monkeypatch):
+    graph = families.make("ring", 8)
+    monkeypatch.setenv("REPRO_BACKEND", "dense")
+    assert isinstance(SynchronousRunner(graph, _Chatterer), DenseRunner)
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ConfigurationError):
+        SynchronousRunner(graph, _Chatterer)
+    # An explicit argument always wins over the environment.
+    monkeypatch.setenv("REPRO_BACKEND", "dense")
+    assert type(SynchronousRunner(graph, _Chatterer, backend="reference")) is SynchronousRunner
+
+
+def test_metrics_equality_is_field_exact():
+    """Metrics is the differential oracle's second channel: == must
+    compare every field, including the per-round activation series."""
+    a = Metrics(rounds=3, total_activations=5, per_round_activations=[2, 3, 0])
+    b = Metrics(rounds=3, total_activations=5, per_round_activations=[2, 3, 0])
+    assert a == b
+    b.per_round_activations[-1] = 1
+    assert a != b
+    assert a != Metrics(rounds=3, total_activations=5)
+
+
+# ----------------------------------------------------------------------
+# --runslow tier: the wide corpus
+# ----------------------------------------------------------------------
+
+SLOW_ADVERSARIES = [
+    None,
+    AdversarySpec(kind="drop", rate=0.2, seed=2, policy="reroute"),
+    AdversarySpec(kind="crash", rate=0.15, seed=9, policy="reroute", start=3, period=7),
+    AdversarySpec(kind="churn", rate=0.2, seed=4, policy="reroute"),
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 1, 5])
+@pytest.mark.parametrize("family", ["ring", "line", "gnp", "random_tree", "grid", "caterpillar"])
+@pytest.mark.parametrize("n", [17, 33, 48])
+def test_slow_star_grid(family, n, seed):
+    _assert_cell_equivalent("star", family, n, seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", ["wreath", "thin-wreath", "clique"])
+@pytest.mark.parametrize("family", ["ring", "line", "random_tree"])
+@pytest.mark.parametrize("n", [16, 28])
+def test_slow_committee_grid(algorithm, family, n):
+    _assert_cell_equivalent(algorithm, family, n)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", ["star-heal", "wreath-heal"])
+@pytest.mark.parametrize("adv", SLOW_ADVERSARIES)
+@pytest.mark.parametrize("n", [16, 24])
+def test_slow_heal_grid(algorithm, adv, n):
+    _assert_cell_equivalent(algorithm, "ring", n, 0, adv)
+
+
+def test_is_original_parity_after_crash_of_deactivated_edge_endpoint():
+    """Regression: a crashed node's *deactivated* original edges must
+    leave E(1) on both backends, so is_original answers False for a
+    node that no longer exists (previously the stale key survived on
+    the reference backend only)."""
+    import networkx as nx
+
+    from repro.engine import Network, RoundActions
+    from repro.engine.dense import DenseNetwork
+
+    answers = {}
+    for cls in (Network, DenseNetwork):
+        net = cls(nx.cycle_graph(5))
+        actions = RoundActions()
+        actions.request_deactivation(0, 0, 1)
+        net.apply(actions, strict=True)
+        net.apply_external(crashes=[1])
+        answers[cls.__name__] = (
+            net.is_original(0, 1),
+            net.is_original(1, 2),
+            sorted(net.original_edges),
+        )
+    assert answers["Network"] == answers["DenseNetwork"]
+    assert answers["Network"][0] is False and answers["Network"][1] is False

@@ -122,3 +122,41 @@ class TestAdversaryFlags:
             "sweep", "-a", "star-heal", "-f", "ring", "--sizes", "16", "--quiet",
         ]) == 0
         assert "policy=reroute" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_run_with_dense_backend(self, capsys):
+        assert main(["-a", "star", "-f", "ring", "--n", "16", "--backend", "dense"]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "dense" in out
+
+    def test_run_stamps_resolved_backend_by_default(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert main(["-a", "star", "--n", "12"]) == 0
+        assert "reference" in capsys.readouterr().out
+
+    def test_backend_rejected_for_centralized(self, capsys):
+        assert main(["-a", "euler", "-f", "ring", "--n", "16", "--backend", "dense"]) == 2
+        assert "centralized" in capsys.readouterr().err
+
+    def test_sweep_backend_rejected_for_centralized(self, capsys):
+        assert main(["sweep", "-a", "star,euler", "-f", "ring", "--sizes", "12",
+                     "--backend", "dense", "--quiet"]) == 2
+        assert "centralized" in capsys.readouterr().err
+
+    def test_sweep_with_dense_backend(self, capsys):
+        assert main(["sweep", "-a", "star", "-f", "ring", "--sizes", "12",
+                     "--backend", "dense", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "dense" in out
+
+    def test_root_backend_flag_reaches_sweep(self, capsys):
+        # `repro --backend dense sweep ...` must not be clobbered by the
+        # subparser's SUPPRESS default.
+        assert main(["--backend", "dense", "sweep", "-a", "star", "-f", "ring",
+                     "--sizes", "12", "--quiet"]) == 0
+        assert "dense" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "gpu"])

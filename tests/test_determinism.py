@@ -1,0 +1,60 @@
+"""Determinism regression: same seed, same scenario => same bytes.
+
+Every registered scenario (committee transforms, the clique baseline,
+the centralized strategies, and the self-healing star/wreath scenarios)
+is run twice with identical inputs on each backend; the serialized
+JSONL traces must match byte for byte.  This catches set-iteration-order
+nondeterminism — the classic failure mode the canonical neighbor views
+exist to prevent (DESIGN.md, "Engine backends") — in either backend,
+including the adversary code paths of the heal scenarios.
+"""
+
+import pytest
+
+from repro.analysis import CENTRALIZED_ALGORITHMS, get_algorithm, registered_algorithms
+from repro.engine import BACKENDS
+from repro.graphs import families
+
+#: scenario -> (family, n) kept small enough for the tier-1 budget.
+WORKLOADS = {
+    "star": ("ring", 24),
+    "wreath": ("ring", 20),
+    "thin-wreath": ("ring", 16),
+    "clique": ("ring", 12),
+    "euler": ("ring", 24),
+    "cut-in-half": ("line", 17),
+    "star-heal": ("ring", 16),
+    "wreath-heal": ("ring", 16),
+}
+
+
+def _trace_bytes(algorithm: str, backend: str | None) -> list[str]:
+    family, n = WORKLOADS[algorithm]
+    runner = get_algorithm(algorithm)
+    graph = families.make(family, n)
+    kwargs = {"collect_trace": True}
+    if backend is not None:
+        kwargs["backend"] = backend
+    result = runner(graph, **kwargs)
+    episodes = getattr(result, "episodes", None)  # heal scenarios
+    if episodes is not None:
+        return [ep.trace.to_jsonl() for ep in episodes]
+    return [result.trace.to_jsonl()]
+
+
+def test_every_registered_scenario_has_a_workload():
+    assert set(WORKLOADS) == set(registered_algorithms()), (
+        "a scenario was (de)registered; keep the determinism matrix in sync"
+    )
+
+
+@pytest.mark.parametrize("algorithm", sorted(WORKLOADS))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_repeat_run_is_byte_identical(algorithm, backend):
+    if algorithm in CENTRALIZED_ALGORITHMS:
+        if backend != "reference":
+            pytest.skip("centralized strategies have no backend")
+        backend = None
+    first = _trace_bytes(algorithm, backend)
+    second = _trace_bytes(algorithm, backend)
+    assert first == second

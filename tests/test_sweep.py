@@ -183,3 +183,46 @@ class TestAdversarySweeps:
     def test_unperturbed_cells_have_no_adversary_column(self):
         result = SweepPlan.grid(["star"], ["ring"], [12]).run()
         assert "adversary" not in result.rows[0].as_dict()
+
+
+class TestBackendSweeps:
+    def test_backend_stamped_on_engine_rows(self):
+        result = SweepPlan.grid(["star"], ["ring"], [12], backend="dense").run()
+        assert result.rows[0].extra["backend"] == "dense"
+        assert result.as_dicts()[0]["backend"] == "dense"
+
+    def test_default_backend_stamped_as_resolved(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        result = SweepPlan.grid(["star"], ["ring"], [12]).run()
+        assert result.rows[0].extra["backend"] == "reference"
+        monkeypatch.setenv("REPRO_BACKEND", "dense")
+        result = SweepPlan.grid(["star"], ["ring"], [12]).run()
+        assert result.rows[0].extra["backend"] == "dense"
+
+    def test_centralized_rows_have_no_backend_column(self):
+        result = SweepPlan.grid(["euler"], ["ring"], [12]).run()
+        assert "backend" not in result.rows[0].as_dict()
+
+    def test_backend_on_centralized_cell_rejected(self):
+        plan = SweepPlan.grid(["euler"], ["ring"], [12], backend="dense")
+        with pytest.raises(ConfigurationError, match="centralized"):
+            plan.run()
+
+    def test_backends_sweep_to_identical_measurements(self):
+        ref = SweepPlan.grid(["star", "wreath"], ["ring"], [16], backend="reference").run()
+        dense = SweepPlan.grid(["star", "wreath"], ["ring"], [16], backend="dense").run()
+        for a, b in zip(ref.as_dicts(), dense.as_dicts()):
+            a.pop("backend"), b.pop("backend")
+            assert a == b
+
+    def test_backend_column_in_format_table(self):
+        from repro.analysis import format_table
+
+        result = SweepPlan.grid(["star"], ["ring"], [12], backend="dense").run()
+        table = format_table(result.as_dicts())
+        assert "backend" in table.splitlines()[0]
+        assert "dense" in table
+
+    def test_parallel_dense_sweep_byte_identical_to_serial(self):
+        plan = SweepPlan.grid(["star"], ["ring", "line"], [12, 16], backend="dense")
+        assert plan.run().to_json() == plan.run(parallel=True, max_workers=2).to_json()
