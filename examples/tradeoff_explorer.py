@@ -11,23 +11,19 @@ Run:  python examples/tradeoff_explorer.py [n] [--serial]
 import sys
 
 from repro.analysis import SweepPlan, print_table
+from repro.registry import get_scenario
 
-LABELS = {
-    "clique": "clique baseline (Sec 1.2)",
-    "star": "GraphToStar (Thm 3.8)",
-    "wreath": "GraphToWreath (Thm 4.2)",
-    "thin-wreath": "GraphToThinWreath (Thm 5.1)",
-    "euler": "centralized Euler-ring (Thm 6.3)",
-}
+ALGORITHMS = ("clique", "star", "wreath", "thin-wreath", "euler")
 
 
 def main(n: int = 96, parallel: bool = True) -> None:
-    plan = SweepPlan.grid(list(LABELS), ["ring"], [n])
+    plan = SweepPlan.grid(list(ALGORITHMS), ["ring"], [n])
     result = plan.run(parallel=parallel)
     rows = []
     for row in result.rows:
+        spec = get_scenario(row.algorithm)
         d = row.as_dict()
-        d["algorithm"] = LABELS[row.algorithm]
+        d["algorithm"] = f"{spec.description.split(':')[0]} ({spec.paper})"
         del d["family"]
         rows.append(d)
     mode = "parallel" if parallel else "serial"

@@ -9,6 +9,7 @@ Public API highlights:
 * :mod:`repro.core` — GraphToStar, GraphToWreath, GraphToThinWreath, clique;
 * :mod:`repro.centralized` — CutInHalf and the Euler-ring strategy;
 * :mod:`repro.problems` — leader election / dissemination / Depth-d Tree;
+* :mod:`repro.registry` — the scenario registry (every runnable workload);
 * :mod:`repro.analysis` — potentials, sweeps, fits, tables;
 * :mod:`repro.dynamics` — external adversaries, churn, self-healing.
 """
@@ -23,6 +24,13 @@ from .engine import (
     run_centralized,
     run_program,
 )
+from .registry import (
+    ScenarioParam,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    scenarios,
+)
 
 __version__ = "1.0.0"
 
@@ -32,8 +40,13 @@ __all__ = [
     "Network",
     "NodeProgram",
     "RunResult",
+    "ScenarioParam",
+    "ScenarioSpec",
     "SynchronousRunner",
+    "get_scenario",
+    "register_scenario",
     "run_centralized",
     "run_program",
+    "scenarios",
     "__version__",
 ]

@@ -3,11 +3,11 @@
 from .fitting import MODELS, best_model, fit_constant, growth_exponent
 from .potential import KnowledgeReplay, initial_potential
 from .sweep import (
-    CENTRALIZED_ALGORITHMS,
     SweepCell,
     SweepPlan,
     SweepResult,
     SweepRow,
+    cell_key,
     get_algorithm,
     measure,
     register_algorithm,
@@ -18,7 +18,6 @@ from .symmetry import LiveRoundProfile, live_round_profile, symmetry_ratio
 from .tables import format_table, print_table
 
 __all__ = [
-    "CENTRALIZED_ALGORITHMS",
     "KnowledgeReplay",
     "LiveRoundProfile",
     "MODELS",
@@ -27,6 +26,7 @@ __all__ = [
     "SweepResult",
     "SweepRow",
     "best_model",
+    "cell_key",
     "fit_constant",
     "format_table",
     "get_algorithm",

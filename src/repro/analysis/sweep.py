@@ -1,30 +1,39 @@
 """Parameter-sweep subsystem: the generator of every experiment table.
 
 A sweep is described by a :class:`SweepPlan` — a list of
-``(algorithm, family, n, seed)`` cells plus a way to resolve algorithm
-names to runner callables.  Plans execute either serially or on a
-process pool (one task per cell), always returning rows in plan order,
-so a parallel sweep is byte-identical to the serial one on a fixed
-seed.  Results persist to JSON or CSV through :class:`SweepResult`.
+``(algorithm, family, n, seed[, adversary, backend])`` cells resolved
+against the scenario registry (:mod:`repro.registry`).  Plans execute
+either serially or on a process pool (one task per cell), always
+returning rows in plan order, so a parallel sweep is byte-identical to
+the serial one on a fixed seed.  Results persist to JSON or CSV through
+:class:`SweepResult`.
 
-Algorithm names resolve against the module-level *scenario registry*
-(:func:`register_algorithm` / :func:`get_algorithm`), which is
-pre-populated with every algorithm of the paper.  Parallel execution
-pickles runner callables by reference, so registered runners must be
+Large sweeps are resumable: ``plan.run(resume_dir=...)`` keeps a
+manifest plus one cached row per cell under the directory, keyed by a
+content hash of ``(spec version, cell, resolved backend,
+runner_kwargs)``.  A re-run loads cached rows and executes only
+missing/changed cells; because rows are reassembled in plan order either
+way, a resumed sweep is byte-identical to a fresh one (see DESIGN.md,
+"Scenario registry", for the cache-key contract).
+
+Every scenario name resolves through :func:`repro.registry.get_scenario`;
+``register_algorithm``/``register_scenario`` add new ones.  Parallel
+execution pickles runners by reference, so registered runners must be
 module-level functions (all built-ins are); closures and lambdas only
 work serially.
-
-See DESIGN.md, "Sweeps and the scenario registry".
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
+import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 import networkx as nx
@@ -33,11 +42,27 @@ from ..dynamics.adversary import AdversarySpec, make_adversary
 from ..engine.runner import resolve_backend
 from ..errors import ConfigurationError
 from ..graphs import diameter, families, max_degree
+from ..registry import (
+    ScenarioSpec,
+    check_cell,
+    get_algorithm,
+    get_scenario,
+    register_algorithm,
+    registered_algorithms,
+)
 
-#: Registered algorithms that run a centralized strategy instead of the
-#: per-node engine: they take no ``backend`` (there is no round loop to
-#: swap) and no adversary.
-CENTRALIZED_ALGORITHMS = ("euler", "cut-in-half")
+__all__ = [
+    "SweepCell",
+    "SweepPlan",
+    "SweepResult",
+    "SweepRow",
+    "cell_key",
+    "get_algorithm",
+    "measure",
+    "register_algorithm",
+    "registered_algorithms",
+    "run_sweep",
+]
 
 
 @dataclass
@@ -72,9 +97,9 @@ class SweepRow:
 
 
 def measure(algorithm: str, family: str, graph: nx.Graph, result) -> SweepRow:
-    """Build a row from any RunResult/CentralizedResult."""
+    """Build a row from any RunResult/CentralizedResult/PipelineResult."""
     final = result.final_graph()
-    return SweepRow(
+    row = SweepRow(
         algorithm=algorithm,
         family=family,
         n=graph.number_of_nodes(),
@@ -85,72 +110,10 @@ def measure(algorithm: str, family: str, graph: nx.Graph, result) -> SweepRow:
         final_diameter=diameter(final),
         final_max_degree=max_degree(final),
     )
-
-
-# ----------------------------------------------------------------------
-# scenario registry
-# ----------------------------------------------------------------------
-
-_REGISTRY: dict[str, Callable] = {}
-_DEFAULTS_LOADED = False
-
-
-def _ensure_default_algorithms() -> None:
-    """Populate the registry with the paper's algorithms (lazily, to keep
-    ``repro.analysis`` importable without dragging in every algorithm)."""
-    global _DEFAULTS_LOADED
-    if _DEFAULTS_LOADED:
-        return
-    from ..centralized import run_cut_in_half, run_euler_ring
-    from ..core import (
-        run_clique_formation,
-        run_graph_to_star,
-        run_graph_to_thin_wreath,
-        run_graph_to_wreath,
-    )
-
-    from ..dynamics.scenarios import SCENARIOS
-
-    defaults = {
-        "star": run_graph_to_star,
-        "wreath": run_graph_to_wreath,
-        "thin-wreath": run_graph_to_thin_wreath,
-        "clique": run_clique_formation,
-        "euler": run_euler_ring,
-        "cut-in-half": run_cut_in_half,
-        **SCENARIOS,
-    }
-    for name, runner in defaults.items():
-        _REGISTRY.setdefault(name, runner)
-    _DEFAULTS_LOADED = True
-
-
-def register_algorithm(name: str, runner: Callable, *, overwrite: bool = False) -> None:
-    """Register ``runner`` (``graph, **kwargs -> result``) under ``name``.
-
-    For parallel sweeps the runner must be picklable, i.e. a module-level
-    function; worker processes re-import it by reference.
-    """
-    _ensure_default_algorithms()
-    if name in _REGISTRY and not overwrite:
-        raise ConfigurationError(f"algorithm {name!r} is already registered")
-    _REGISTRY[name] = runner
-
-
-def get_algorithm(name: str) -> Callable:
-    """Resolve a registered algorithm name to its runner."""
-    _ensure_default_algorithms()
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown algorithm {name!r}; registered: {sorted(_REGISTRY)}"
-        ) from None
-
-
-def registered_algorithms() -> list[str]:
-    _ensure_default_algorithms()
-    return sorted(_REGISTRY)
+    stage_columns = getattr(result, "stage_columns", None)
+    if stage_columns is not None:  # composition pipelines: per-stage cost
+        row.extra.update(stage_columns())
+    return row
 
 
 # ----------------------------------------------------------------------
@@ -183,26 +146,31 @@ class SweepCell:
     backend: str | None = None
 
 
-def _execute_cell(cell: SweepCell, runner: Callable, runner_kwargs: dict) -> SweepRow:
-    """Run one cell (also the process-pool task; must stay module-level)."""
+def _execute_cell(cell: SweepCell, spec: ScenarioSpec, runner_kwargs: dict) -> SweepRow:
+    """Run one cell (also the process-pool task; must stay module-level).
+
+    Capability checks go through :func:`repro.registry.check_cell` — the
+    same single path the CLI uses — so a plan that exceeds a scenario's
+    declared capabilities fails with the same message everywhere.
+    """
+    check_cell(
+        spec, family=cell.family, backend=cell.backend, adversary=cell.adversary,
+        trace=bool(runner_kwargs.get("collect_trace")),
+    )
     graph = families.make(cell.family, cell.n, seed=cell.seed)
     kwargs = dict(runner_kwargs)
     if cell.adversary is not None:
         kwargs["adversary"] = make_adversary(cell.adversary)
-    centralized = cell.algorithm in CENTRALIZED_ALGORITHMS
     if cell.backend is not None:
-        if centralized:
-            raise ConfigurationError(
-                f"algorithm {cell.algorithm!r} is centralized and takes no backend"
-            )
         kwargs["backend"] = cell.backend
-    result = runner(graph, **kwargs)
+    result = spec.runner(graph, **kwargs)
     row = measure(cell.algorithm, cell.family, graph, result)
-    if cell.seed:
-        row.extra["seed"] = cell.seed
+    # Every row records its seed unconditionally (seed 0 included), so
+    # mixed-seed tables are never ragged or ambiguous.
+    row.extra["seed"] = cell.seed
     if cell.adversary is not None:
         row.extra["adversary"] = cell.adversary.label()
-    if not centralized:
+    if spec.supports_backend:
         row.extra["backend"] = resolve_backend(cell.backend)
     return row
 
@@ -212,9 +180,10 @@ class SweepPlan:
     """A deterministic list of sweep cells plus runner resolution.
 
     ``runners`` maps algorithm names to callables and takes precedence
-    over the global registry; names absent from it resolve through
-    :func:`get_algorithm`.  ``runner_kwargs`` are forwarded to every
-    runner call (e.g. ``{"check_connectivity": True}``).
+    over the global registry (each becomes an ad-hoc ``distributed``
+    spec); names absent from it resolve through
+    :func:`repro.registry.get_scenario`.  ``runner_kwargs`` are forwarded
+    to every runner call (e.g. ``{"check_connectivity": True}``).
     """
 
     cells: list = field(default_factory=list)
@@ -251,9 +220,12 @@ class SweepPlan:
         ]
         return cls(cells=cells, runners=runners, runner_kwargs=dict(runner_kwargs or {}))
 
-    def _resolve(self, name: str) -> Callable:
+    def spec(self, name: str) -> ScenarioSpec:
+        """The scenario spec a cell of this plan resolves to."""
         runner = self.runners.get(name)
-        return runner if runner is not None else get_algorithm(name)
+        if runner is not None:
+            return ScenarioSpec(name, runner, "distributed", description=name)
+        return get_scenario(name)
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -264,6 +236,7 @@ class SweepPlan:
         parallel: bool = False,
         max_workers: int | None = None,
         progress=None,
+        resume_dir: str | os.PathLike | None = None,
     ) -> "SweepResult":
         """Execute every cell and return rows in plan order.
 
@@ -271,39 +244,50 @@ class SweepPlan:
         per cell; every cell builds its graph from ``(family, n, seed)``
         deterministically, so the rows are identical to a serial run.
         ``progress`` is either truthy (log each finished cell to stderr) or
-        a callable ``(done, total, cell)``.
+        a callable ``(done, total, cell)``.  ``resume_dir`` makes the sweep
+        resumable: cached rows are loaded, only missing/changed cells
+        execute, and fresh rows are persisted — byte-identical output
+        either way.
         """
         started = time.perf_counter()
         report = _make_reporter(progress, len(self.cells))
-        if parallel and len(self.cells) > 1:
-            rows = self._run_parallel(max_workers, report)
-        else:
-            rows = []
-            for cell in self.cells:
-                rows.append(_execute_cell(cell, self._resolve(cell.algorithm), self.runner_kwargs))
+        specs = [self.spec(cell.algorithm) for cell in self.cells]
+        cache = _CellCache(resume_dir, self, specs) if resume_dir is not None else None
+
+        rows: list = [None] * len(self.cells)
+        pending: list = []
+        for i, (cell, spec) in enumerate(zip(self.cells, specs)):
+            cached = cache.load(i) if cache is not None else None
+            if cached is not None:
+                rows[i] = cached
                 report(cell)
-        # When the plan mixes seeds, every row must say which seed it
-        # measured — otherwise same-(algorithm, family, n) rows are
-        # indistinguishable in tables and JSON.
-        if any(cell.seed for cell in self.cells):
-            for row, cell in zip(rows, self.cells):
-                row.extra.setdefault("seed", cell.seed)
+            else:
+                pending.append(i)
+
+        if parallel and len(pending) > 1:
+            self._run_parallel(pending, specs, rows, max_workers, report, cache)
+        else:
+            for i in pending:
+                rows[i] = _execute_cell(self.cells[i], specs[i], self.runner_kwargs)
+                if cache is not None:
+                    cache.store(i, rows[i])
+                report(self.cells[i])
         return SweepResult(rows=rows, elapsed=time.perf_counter() - started)
 
-    def _run_parallel(self, max_workers: int | None, report) -> list:
-        rows: list = [None] * len(self.cells)
+    def _run_parallel(self, pending, specs, rows, max_workers, report, cache) -> None:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {
                 pool.submit(
-                    _execute_cell, cell, self._resolve(cell.algorithm), self.runner_kwargs
-                ): (i, cell)
-                for i, cell in enumerate(self.cells)
+                    _execute_cell, self.cells[i], specs[i], self.runner_kwargs
+                ): i
+                for i in pending
             }
             for fut in as_completed(futures):
-                i, cell = futures[fut]
+                i = futures[fut]
                 rows[i] = fut.result()
-                report(cell)
-        return rows
+                if cache is not None:
+                    cache.store(i, rows[i])
+                report(self.cells[i])
 
 
 def _make_reporter(progress, total: int):
@@ -326,6 +310,172 @@ def _make_reporter(progress, total: int):
             file=sys.stderr,
         )
     return report
+
+
+# ----------------------------------------------------------------------
+# the per-cell result cache (resumable sweeps)
+# ----------------------------------------------------------------------
+
+
+def _canonical(value):
+    """A deterministic, JSON-able projection of a runner-kwarg value.
+
+    Callables map to their module-qualified name (stable across runs,
+    unlike ``repr`` with its memory addresses); containers recurse;
+    anything else must already be JSON-representable.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        if any(not isinstance(k, str) for k in value):
+            raise ConfigurationError(
+                f"runner kwarg dict {value!r} has non-string keys; resumable "
+                f"sweeps need string-keyed dicts (str(key) would let distinct "
+                f"keys share a cache entry)"
+            )
+        return {k: _canonical(v) for k, v in sorted(value.items())}
+    if callable(value):
+        module = getattr(value, "__module__", None)
+        qualname = getattr(value, "__qualname__", None)
+        # Only module-level functions have an identity that survives the
+        # process: lambdas/closures share qualnames across different
+        # bodies, and partials/instances have no qualname at all.  Either
+        # would let a resumed sweep serve another callable's stale rows
+        # (or never hit the cache), so refuse to cache them.
+        if (
+            module is None
+            or qualname is None
+            or "<lambda>" in qualname
+            or "<locals>" in qualname
+        ):
+            raise ConfigurationError(
+                f"callable {value!r} is not cacheable (no stable "
+                f"module-level identity); resumable sweeps need "
+                f"module-level functions"
+            )
+        return f"{module}.{qualname}"
+    raise ConfigurationError(
+        f"runner kwarg value {value!r} is not cacheable; resumable sweeps "
+        f"need JSON-representable (or callable) runner_kwargs"
+    )
+
+
+def cell_key(spec: ScenarioSpec, cell: SweepCell, runner_kwargs: dict) -> str:
+    """Content hash identifying one cell's row in the result cache.
+
+    Covers everything the row is a function of: the spec's name,
+    ``version``, and runner identity (module-qualified — so a plan-local
+    runner shadowing a registered name never reuses the registered
+    scenario's cached rows), the cell coordinates, the adversary label,
+    the *resolved* backend (so a sweep re-run under a different
+    ``REPRO_BACKEND`` re-executes instead of returning the other
+    engine's rows), and the canonicalized runner kwargs.  Bumping
+    ``ScenarioSpec.version`` invalidates every cached row of that
+    scenario.
+    """
+    payload = {
+        "spec": spec.name,
+        "spec_version": spec.version,
+        "runner": _canonical(spec.runner),
+        "algorithm": cell.algorithm,
+        "family": cell.family,
+        "n": cell.n,
+        "seed": cell.seed,
+        "adversary": cell.adversary.label() if cell.adversary is not None else None,
+        "backend": resolve_backend(cell.backend) if spec.supports_backend else None,
+        "runner_kwargs": _canonical(runner_kwargs),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+_ROW_FIELDS = (
+    "algorithm", "family", "n", "rounds", "total_activations",
+    "max_activated_edges", "max_activated_degree", "final_diameter",
+    "final_max_degree",
+)
+
+
+class _CellCache:
+    """Manifest + one JSON row file per cell under ``resume_dir``.
+
+    Layout: ``manifest.json`` describes the plan (cell coordinates and
+    keys, canonical runner kwargs); ``cells/<key>.json`` holds one
+    executed row.  Stale files (from edited plans or bumped spec
+    versions) are simply never read — their keys no longer occur.
+    """
+
+    def __init__(self, root, plan: SweepPlan, specs: list) -> None:
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        self.keys = [
+            cell_key(spec, cell, plan.runner_kwargs)
+            for cell, spec in zip(plan.cells, specs)
+        ]
+        self._write_manifest(plan, specs)
+
+    def _write_manifest(self, plan: SweepPlan, specs: list) -> None:
+        manifest = {
+            "version": 1,
+            "runner_kwargs": _canonical(plan.runner_kwargs),
+            "cells": [
+                {
+                    "key": key,
+                    "algorithm": cell.algorithm,
+                    "family": cell.family,
+                    "n": cell.n,
+                    "seed": cell.seed,
+                    "adversary": cell.adversary.label() if cell.adversary else None,
+                    "backend": resolve_backend(cell.backend) if spec.supports_backend else None,
+                    "spec_version": spec.version,
+                }
+                for key, cell, spec in zip(self.keys, plan.cells, specs)
+            ],
+        }
+        _atomic_write(
+            self.root / "manifest.json",
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        )
+
+    def _path(self, index: int) -> Path:
+        return self.cells_dir / f"{self.keys[index]}.json"
+
+    def load(self, index: int) -> SweepRow | None:
+        path = self._path(index)
+        try:
+            payload = json.loads(path.read_text())
+            return SweepRow(
+                **{name: payload[name] for name in _ROW_FIELDS},
+                extra=payload.get("extra", {}),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated, or wrong-shaped (foreign/older schema):
+            # stale either way — re-execute the cell.
+            return None
+
+    def store(self, index: int, row: SweepRow) -> None:
+        payload = {name: getattr(row, name) for name in _ROW_FIELDS}
+        payload["extra"] = row.extra
+        _atomic_write(
+            self._path(index), json.dumps(payload, sort_keys=False) + "\n"
+        )
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write-then-rename so an interrupted sweep never leaves a truncated
+    cache entry (a torn file would silently re-execute, which is safe,
+    but a torn manifest would be misleading)."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
 
 
 @dataclass

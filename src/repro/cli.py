@@ -1,15 +1,19 @@
-"""Command-line interface: run any algorithm on any workload family.
+"""Command-line interface: run any registered scenario on any workload.
+
+Every scenario the CLI knows — names, descriptions, paper references,
+capabilities, extra parameters — comes from the scenario registry
+(:mod:`repro.registry`); nothing is hardcoded here.
 
 Usage::
 
     python -m repro --algorithm star --family line --n 128
-    python -m repro --algorithm star --family ring --n 1024 --backend dense
+    python -m repro --algorithm star+flood --family line --n 256
     python -m repro --algorithm wreath --family ring --n 64 --trace
     python -m repro --algorithm star-heal --family ring --n 64 --adversary drop
     python -m repro --list
     python -m repro sweep -a star,euler -f ring,line --sizes 32,64 --parallel
-    python -m repro sweep -a star -f ring --sizes 256,512 --backend dense
-    python -m repro sweep -a star-heal -f ring --sizes 32 --adversary drop --adversary-policy reroute
+    python -m repro sweep -a star+flood,flood-baseline -f line --sizes 256 \\
+        --resume sweep-cache/
     python -m repro sweep -a star -f ring --sizes 64 --json rows.json --csv rows.csv
 """
 
@@ -19,40 +23,15 @@ import argparse
 import sys
 
 from . import graphs
-from .analysis import (
-    CENTRALIZED_ALGORITHMS,
-    SweepPlan,
-    get_algorithm,
-    measure,
-    print_table,
-    registered_algorithms,
-)
+from .analysis import SweepPlan, measure, print_table
 from .dynamics import ADVERSARY_KINDS, POLICIES, AdversarySpec, make_adversary
-from .engine import BACKENDS, resolve_backend
+from .engine import BACKENDS, iter_traces, resolve_backend
+from .errors import ConfigurationError
+from .registry import DEFAULT_SCENARIO, check_cell, get_scenario, scenarios
 
-#: Display names for the registered algorithms (the runners themselves
-#: live in the analysis scenario registry; see DESIGN.md).
-DESCRIPTIONS = {
-    "star": "GraphToStar (Thm 3.8)",
-    "wreath": "GraphToWreath (Thm 4.2)",
-    "thin-wreath": "GraphToThinWreath (Thm 5.1)",
-    "clique": "clique baseline (Sec 1.2)",
-    "euler": "centralized Euler-ring (Thm 6.3)",
-    "cut-in-half": "centralized CutInHalf (Thm D.5, lines only)",
-    "star-heal": "self-healing GraphToStar (repro.dynamics)",
-    "wreath-heal": "self-healing GraphToWreath (repro.dynamics)",
-}
-
-# Backward-compatible map ``name -> (description, runner)``.
-ALGORITHMS = {
-    name: (desc, get_algorithm(name)) for name, desc in DESCRIPTIONS.items()
-}
-
-#: Built-in algorithms that accept ``--adversary``.  The committee
-#: algorithms are not self-stabilizing (DESIGN.md note 8) and the
-#: centralized strategies take no runner kwargs, so from the CLI an
-#: adversary only composes with the self-healing scenarios.
-ADVERSARY_ALGORITHMS = ("star-heal", "wreath-heal")
+#: Backward-compatible map ``name -> (description, runner)``, derived
+#: entirely from the registry.
+ALGORITHMS = {spec.name: (spec.description, spec.runner) for spec in scenarios()}
 
 
 def _csv_list(value: str) -> list[str]:
@@ -66,6 +45,16 @@ def _csv_ints(value: str) -> list[int]:
 # argparse prints the type's __name__ in "invalid ... value" errors.
 _csv_list.__name__ = "name list"
 _csv_ints.__name__ = "integer list"
+
+
+def _registry_params() -> dict:
+    """Every distinct extra parameter declared by any registered scenario
+    (first declaration wins on a name collision)."""
+    params: dict = {}
+    for spec in scenarios():
+        for param in spec.params:
+            params.setdefault(param.name, param)
+    return params
 
 
 def _add_engine_flags(parser, *, subcommand: bool = False) -> None:
@@ -97,6 +86,15 @@ def _add_engine_flags(parser, *, subcommand: bool = False) -> None:
         "--adversary-policy", choices=POLICIES, default=default("skip"),
         help="connectivity policy: skip disconnecting events, or reroute them",
     )
+    for param in _registry_params().values():
+        capable = ", ".join(
+            s.name for s in scenarios() if s.param(param.name) is not None
+        )
+        parser.add_argument(
+            f"--{param.name.replace('_', '-')}",
+            dest=param.name, type=param.type, default=default(None),
+            help=f"{param.help} (default {param.default}; {capable} only)",
+        )
 
 
 def _adversary_spec(args) -> AdversarySpec | None:
@@ -110,18 +108,33 @@ def _adversary_spec(args) -> AdversarySpec | None:
     )
 
 
+def _provided_params(args) -> dict:
+    """The registry-declared extra parameters the user actually passed."""
+    return {
+        name: value
+        for name in _registry_params()
+        if (value := getattr(args, name, None)) is not None
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Actively dynamic network reconfiguration (PODC 2020 reproduction)",
     )
-    parser.add_argument("--algorithm", "-a", choices=sorted(DESCRIPTIONS), default="star")
+    parser.add_argument(
+        "--algorithm", "-a",
+        choices=[spec.name for spec in scenarios()], default=DEFAULT_SCENARIO,
+    )
     parser.add_argument("--family", "-f", choices=sorted(graphs.FAMILIES), default="line")
     parser.add_argument("--n", type=int, default=64, help="target network size")
     parser.add_argument("--seed", type=int, default=0, help="UID permutation seed (0 = canonical)")
     parser.add_argument("--trace", action="store_true", help="print per-round activations")
     parser.add_argument("--check-connectivity", action="store_true")
-    parser.add_argument("--list", action="store_true", help="list algorithms and families")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios (kind, capabilities, paper ref) and families",
+    )
     _add_engine_flags(parser)
 
     sub = parser.add_subparsers(dest="command")
@@ -130,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an algorithms × families × sizes grid (optionally in parallel)",
     )
     sweep.add_argument(
-        "--algorithms", "-a", type=_csv_list, default=["star"],
+        "--algorithms", "-a", type=_csv_list, default=[DEFAULT_SCENARIO],
         help="comma-separated registered algorithm names",
     )
     sweep.add_argument(
@@ -148,68 +161,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(sweep, subcommand=True)
     sweep.add_argument("--parallel", action="store_true", help="use a process pool")
     sweep.add_argument("--workers", type=int, default=None, help="process-pool size")
+    sweep.add_argument(
+        "--resume", dest="resume_dir", default=None, metavar="DIR",
+        help="cache one row per cell under DIR; a re-run executes only "
+             "missing/changed cells, byte-identical to a fresh run",
+    )
     sweep.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     sweep.add_argument("--csv", dest="csv_path", default=None, help="write rows as CSV")
     sweep.add_argument("--quiet", action="store_true", help="suppress progress output")
     return parser
 
 
-def _reject_adversary_incapable(args, algorithms) -> str | None:
-    """The error message for --adversary on a non-heal algorithm, if any."""
-    if args.adversary is None:
-        return None
-    bad = [a for a in algorithms if a not in ADVERSARY_ALGORITHMS]
-    if not bad:
-        return None
-    return (
-        f"--adversary is not supported for {', '.join(sorted(bad))}: the "
-        f"paper's algorithms are not self-stabilizing (DESIGN.md note 8); "
-        f"use a self-healing scenario ({', '.join(ADVERSARY_ALGORITHMS)})"
-    )
+def _check_cells(args, algorithms, families) -> int:
+    """Resolve every requested scenario and validate every requested cell
+    through the registry's single capability path.  Returns an exit code
+    (0 = all cells are runnable)."""
+    adversary = _adversary_spec(args)
+    params = _provided_params(args)
+    try:
+        for name in algorithms:
+            spec = get_scenario(name)  # fail fast, before any cell runs
+            for family in families:
+                check_cell(
+                    spec, family=family, backend=args.backend,
+                    adversary=adversary, params=params,
+                    trace=getattr(args, "trace", False),
+                )
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
 
 
-def _reject_backend_incapable(args, algorithms) -> str | None:
-    """The error message for --backend on a centralized strategy, if any."""
-    if args.backend is None:
-        return None
-    bad = [a for a in algorithms if a in CENTRALIZED_ALGORITHMS]
-    if not bad:
-        return None
-    return (
-        f"--backend is not supported for {', '.join(sorted(bad))}: "
-        f"centralized strategies have no per-node round loop to swap "
-        f"(see DESIGN.md, 'Engine backends')"
-    )
+def _main_list() -> int:
+    specs = scenarios()
+    width = max(len(spec.name) for spec in specs) + 2
+    for spec in specs:
+        print(
+            f"{spec.name:{width}s} {spec.kind:13s} "
+            f"{spec.capabilities():24s} {spec.paper:18s} {spec.description}"
+        )
+    print("\nfamilies:", ", ".join(sorted(graphs.FAMILIES)))
+    return 0
 
 
 def _main_sweep(args) -> int:
-    from .errors import ConfigurationError
-
-    for name in args.algorithms:
-        try:
-            get_algorithm(name)  # fail fast, before any cell runs
-        except ConfigurationError as exc:
-            print(exc, file=sys.stderr)
-            return 2
     for family in args.families:
         if family not in graphs.FAMILIES:
             print(f"unknown family {family!r}; known: {sorted(graphs.FAMILIES)}",
                   file=sys.stderr)
             return 2
-    for check in (_reject_adversary_incapable, _reject_backend_incapable):
-        error = check(args, args.algorithms)
-        if error is not None:
-            print(error, file=sys.stderr)
-            return 2
+    code = _check_cells(args, args.algorithms, args.families)
+    if code:
+        return code
     plan = SweepPlan.grid(
         args.algorithms, args.families, args.sizes,
         seeds=args.seeds, adversary=_adversary_spec(args),
-        backend=args.backend,
+        backend=args.backend, runner_kwargs=_provided_params(args),
     )
     result = plan.run(
         parallel=args.parallel,
         max_workers=args.workers,
         progress=not args.quiet,
+        resume_dir=args.resume_dir,
     )
     if args.json_path:
         result.to_json(args.json_path)
@@ -228,48 +242,40 @@ def main(argv=None) -> int:
     if getattr(args, "command", None) == "sweep":
         return _main_sweep(args)
     if args.list:
-        for key in sorted(registered_algorithms()):
-            print(f"{key:12s} {DESCRIPTIONS.get(key, key)}")
-        print("\nfamilies:", ", ".join(sorted(graphs.FAMILIES)))
-        return 0
+        return _main_list()
 
-    for check in (_reject_adversary_incapable, _reject_backend_incapable):
-        error = check(args, [args.algorithm])
-        if error is not None:
-            print(error, file=sys.stderr)
-            return 2
+    code = _check_cells(args, [args.algorithm], [args.family])
+    if code:
+        return code
+    spec = get_scenario(args.algorithm)
     graph = graphs.make(args.family, args.n, seed=args.seed)
-    desc = DESCRIPTIONS[args.algorithm]
-    runner = get_algorithm(args.algorithm)
-    centralized = args.algorithm in CENTRALIZED_ALGORITHMS
-    kwargs = {}
+    kwargs = _provided_params(args)
     if args.trace:
         kwargs["collect_trace"] = True
-    if args.check_connectivity and not centralized:
+    if args.check_connectivity and spec.supports_backend:
         kwargs["check_connectivity"] = True
     if args.backend is not None:
         kwargs["backend"] = args.backend
-    spec = _adversary_spec(args)
-    if spec is not None:
-        kwargs["adversary"] = make_adversary(spec)
-    result = runner(graph, **kwargs)
+    adversary = _adversary_spec(args)
+    if adversary is not None:
+        kwargs["adversary"] = make_adversary(adversary)
+    result = spec.runner(graph, **kwargs)
 
     row = measure(args.algorithm, args.family, graph, result).as_dict()
-    if spec is not None:
-        row["adversary"] = spec.label()
-    if not centralized:
+    if adversary is not None:
+        row["adversary"] = adversary.label()
+    if spec.supports_backend:
         row["backend"] = resolve_backend(args.backend)
-    print_table([row], title=f"{desc} on {args.family} (n={graph.number_of_nodes()})")
+    print_table(
+        [row],
+        title=f"{spec.description} on {args.family} (n={graph.number_of_nodes()})",
+    )
     recovery = getattr(result, "recovery", None)
     if recovery is not None:
         print_table([recovery.as_dict()], title="recovery")
     if args.trace:
-        episodes = getattr(result, "episodes", None)
-        if episodes is not None:  # self-healing: one trace per episode
-            for i, episode in enumerate(episodes):
-                _print_activity(episode.trace, f"episode {i} activity")
-        else:
-            _print_activity(result.trace, "activity")
+        for label, trace in iter_traces(result):
+            _print_activity(trace, f"{label} activity" if label else "activity")
     return 0
 
 

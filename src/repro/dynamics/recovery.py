@@ -27,7 +27,7 @@ from typing import Callable
 
 import networkx as nx
 
-from ..engine import Metrics, Network, RunResult
+from ..engine import Metrics, Network, RunResult, aggregate_metrics
 from ..errors import ConfigurationError
 from ..graphs.validate import (
     is_binary_tree,
@@ -135,25 +135,6 @@ class SelfHealingResult:
         return g
 
 
-def _aggregate_metrics(episodes: list) -> Metrics:
-    total = Metrics()
-    for ep in episodes:
-        m = ep.metrics
-        total.rounds += m.rounds
-        total.total_activations += m.total_activations
-        total.total_deactivations += m.total_deactivations
-        total.max_activated_edges = max(total.max_activated_edges, m.max_activated_edges)
-        total.max_activated_degree = max(total.max_activated_degree, m.max_activated_degree)
-        total.max_activations_per_round = max(
-            total.max_activations_per_round, m.max_activations_per_round
-        )
-        total.max_activations_per_node_round = max(
-            total.max_activations_per_node_round, m.max_activations_per_node_round
-        )
-        total.per_round_activations.extend(m.per_round_activations)
-    return total
-
-
 # ----------------------------------------------------------------------
 # the self-healing loop
 # ----------------------------------------------------------------------
@@ -209,7 +190,7 @@ def run_self_healing(
             record.repair_activations = repair.metrics.total_activations
         strike_records.append(record)
 
-    metrics = _aggregate_metrics(episodes)
+    metrics = aggregate_metrics(ep.metrics for ep in episodes)
     rounds_to_recover = [r.repair_rounds for r in strike_records if r.damaged]
     recovery = RecoveryMetrics(
         strikes=len(strike_records),

@@ -1,4 +1,5 @@
-"""Self-healing scenario runners for the sweep/CLI registry.
+"""Self-healing scenario runners (registered as ``star-heal`` /
+``wreath-heal`` specs by :mod:`repro.registry`).
 
 Module-level functions (picklable by reference) so perturbed cells run
 on the process pool exactly like any other sweep cell.  Each runner
@@ -51,10 +52,3 @@ def run_wreath_self_healing(
         strikes=strikes,
         runner_kwargs=runner_kwargs,
     )
-
-
-#: name -> runner, merged into the scenario registry by repro.analysis.sweep.
-SCENARIOS = {
-    "star-heal": run_star_self_healing,
-    "wreath-heal": run_wreath_self_healing,
-}

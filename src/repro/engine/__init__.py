@@ -3,7 +3,7 @@
 from .actions import RoundActions, canonical_view, edge_key
 from .centralized import CentralizedResult, CentralizedStrategy, run_centralized
 from .dense import DenseConnectivityTracker, DenseContext, DenseNetwork, DenseRunner
-from .metrics import Metrics, MetricsRecorder
+from .metrics import Metrics, MetricsRecorder, aggregate_metrics
 from .network import ConnectivityTracker, Network
 from .program import Context, NodeProgram
 from .runner import (
@@ -13,7 +13,7 @@ from .runner import (
     resolve_backend,
     run_program,
 )
-from .trace import PerturbationRecord, RoundRecord, Trace
+from .trace import PerturbationRecord, RoundRecord, Trace, iter_traces
 
 __all__ = [
     "BACKENDS",
@@ -35,8 +35,10 @@ __all__ = [
     "RunResult",
     "SynchronousRunner",
     "Trace",
+    "aggregate_metrics",
     "canonical_view",
     "edge_key",
+    "iter_traces",
     "resolve_backend",
     "run_centralized",
     "run_program",

@@ -62,6 +62,35 @@ class Metrics:
         return base
 
 
+def aggregate_metrics(parts) -> Metrics:
+    """Fold per-episode/per-stage :class:`Metrics` into one summary:
+    totals (including adversary counters) are summed, watermarks are
+    maxed, and the per-round activation series are concatenated in
+    order.  Used by self-healing episodes and composition pipelines."""
+    total = Metrics()
+    for m in parts:
+        total.rounds += m.rounds
+        total.total_activations += m.total_activations
+        total.total_deactivations += m.total_deactivations
+        total.max_activated_edges = max(total.max_activated_edges, m.max_activated_edges)
+        total.max_activated_degree = max(
+            total.max_activated_degree, m.max_activated_degree
+        )
+        total.max_activations_per_round = max(
+            total.max_activations_per_round, m.max_activations_per_round
+        )
+        total.max_activations_per_node_round = max(
+            total.max_activations_per_node_round, m.max_activations_per_node_round
+        )
+        total.per_round_activations.extend(m.per_round_activations)
+        total.adversary_events += m.adversary_events
+        total.adversary_edge_drops += m.adversary_edge_drops
+        total.adversary_edge_adds += m.adversary_edge_adds
+        total.adversary_crashes += m.adversary_crashes
+        total.adversary_joins += m.adversary_joins
+    return total
+
+
 class MetricsRecorder:
     """Incrementally tracks the activated-only subgraph ``D(i) \\ D(1)``."""
 

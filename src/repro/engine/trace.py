@@ -150,6 +150,23 @@ class Trace:
         return trace
 
 
+def iter_traces(result) -> list:
+    """``(label, Trace)`` pairs of any result shape, in execution order.
+
+    Single runs yield one pair labelled ``None``; self-healing results
+    yield one pair per episode; composition pipelines yield one pair per
+    stage.  Pairs whose trace is ``None`` (no ``collect_trace``) are
+    included, so callers see the result's structure either way.
+    """
+    episodes = getattr(result, "episodes", None)
+    if episodes is not None:
+        return [(f"episode {i}", ep.trace) for i, ep in enumerate(episodes)]
+    stages = getattr(result, "stages", None)
+    if stages is not None:
+        return [(name, res.trace) for name, res in stages]
+    return [(None, result.trace)]
+
+
 def _edge_list(edges) -> list:
     return sorted([list(e) for e in edges])
 

@@ -1,17 +1,25 @@
 """The paper's distributed tasks: leader election, token dissemination,
-Depth-d Tree, and transform-then-compute composition."""
+Depth-d Tree, and transform-then-compute composition pipelines."""
 
 from .composition import (
     CompositionResult,
+    PipelineResult,
     disseminate_without_transform,
+    run_flood_baseline,
+    run_pipeline,
+    run_star_then_flood,
+    run_star_then_leader,
+    run_wreath_then_flood,
     transform_then_disseminate,
 )
 from .depth_tree import check_depth_d_tree, check_depth_log_tree, final_tree_depth
 from .leader_election import (
+    MaxUidLeaderProgram,
     elected_uid,
     is_leader_election_solved,
     leader_is_max_uid,
     leader_statuses,
+    run_leader_election,
 )
 from .token_dissemination import (
     FloodTokensProgram,
@@ -22,6 +30,8 @@ from .token_dissemination import (
 __all__ = [
     "CompositionResult",
     "FloodTokensProgram",
+    "MaxUidLeaderProgram",
+    "PipelineResult",
     "check_depth_d_tree",
     "check_depth_log_tree",
     "disseminate_without_transform",
@@ -31,6 +41,12 @@ __all__ = [
     "is_leader_election_solved",
     "leader_is_max_uid",
     "leader_statuses",
+    "run_flood_baseline",
+    "run_leader_election",
+    "run_pipeline",
+    "run_star_then_flood",
+    "run_star_then_leader",
     "run_token_dissemination",
+    "run_wreath_then_flood",
     "transform_then_disseminate",
 ]

@@ -1,8 +1,45 @@
-"""Leader election (Section 2.2): checkers over finished executions."""
+"""Leader election (Section 2.2): a flooding program plus checkers.
+
+:class:`MaxUidLeaderProgram` solves leader election on any static
+network by flooding UIDs (``Θ(d)`` rounds on a diameter-``d`` network):
+once a node holds all ``n`` UIDs it knows the global maximum, declares
+itself leader or follower, and halts.  On a transformed (poly)log-
+diameter network this is the paper's Section 1.3 payoff; the checkers
+below validate any execution that exposes per-node ``status``.
+"""
 
 from __future__ import annotations
 
+import networkx as nx
+
 from ..engine import RunResult
+from .token_dissemination import FloodTokensProgram
+
+
+class MaxUidLeaderProgram(FloodTokensProgram):
+    """Flood UIDs; the node holding the maximum becomes the leader.
+
+    Reuses the token-dissemination flood (UIDs are the tokens) and fixes
+    each node's final ``status`` at the moment it halts — the broadcast
+    records stay identical to plain flooding, so the execution trace is
+    byte-identical to ``FloodTokensProgram`` on the same network.
+    """
+
+    def __init__(self, uid) -> None:
+        super().__init__(uid)
+        self.status = None
+
+    def halt(self) -> None:
+        self.status = "leader" if self.uid == max(self.tokens) else "follower"
+        super().halt()
+
+
+def run_leader_election(graph: nx.Graph, **kwargs) -> RunResult:
+    """Elect the max-UID node by flooding over a static network."""
+    from ..engine import SynchronousRunner
+
+    kwargs.setdefault("knows_n", True)
+    return SynchronousRunner(graph, MaxUidLeaderProgram, **kwargs).run()
 
 
 def leader_statuses(result: RunResult) -> dict:

@@ -13,20 +13,25 @@ seeds, and adversary schedules.
 
 import pytest
 
-from repro.analysis import CENTRALIZED_ALGORITHMS, get_algorithm, registered_algorithms
 from repro.dynamics import AdversarySpec, ChurnSchedule, ScriptedAdversary, make_adversary
-from repro.engine import BACKENDS, Metrics, NodeProgram, SynchronousRunner, run_program
+from repro.engine import (
+    BACKENDS,
+    Metrics,
+    NodeProgram,
+    SynchronousRunner,
+    iter_traces,
+    run_program,
+)
 from repro.engine.dense import DenseRunner
 from repro.errors import ConfigurationError
 from repro.graphs import families
+from repro.registry import get_algorithm, scenario_names, scenarios
 
 
 def _episode_traces(result):
-    """The JSONL trace(s) of a RunResult or SelfHealingResult."""
-    episodes = getattr(result, "episodes", None)
-    if episodes is not None:
-        return [ep.trace.to_jsonl() for ep in episodes]
-    return [result.trace.to_jsonl()]
+    """The labelled JSONL trace(s) of any result shape (single run,
+    self-healing episodes, or composition pipeline stages)."""
+    return [(label, trace.to_jsonl()) for label, trace in iter_traces(result)]
 
 
 def _run_cell(algorithm, family, n, seed, adversary_spec, backend):
@@ -68,6 +73,11 @@ CI_CORPUS = [
     ("star-heal", "ring", 16, 0, AdversarySpec(kind="drop", rate=0.3, seed=5, policy="reroute")),
     ("wreath-heal", "ring", 16, 0, None),
     ("wreath-heal", "ring", 14, 0, AdversarySpec(kind="crash", rate=0.2, seed=3, policy="reroute")),
+    # composition pipelines: transform-then-solve, end to end
+    ("star+flood", "line", 24, 0, None),
+    ("wreath+flood", "ring", 16, 0, None),
+    ("flood-baseline", "gnp", 25, 0, None),
+    ("star+leader", "random_tree", 21, 3, None),
 ]
 
 
@@ -81,8 +91,8 @@ def test_ci_corpus_cell_equivalent(algorithm, family, n, seed, adv):
 
 
 def test_registry_is_fully_covered():
-    """Every registered engine-backed scenario appears in some corpus cell."""
-    engine_backed = set(registered_algorithms()) - set(CENTRALIZED_ALGORITHMS)
+    """Every registered backend-capable scenario appears in some corpus cell."""
+    engine_backed = {spec.name for spec in scenarios() if spec.supports_backend}
     covered = {cell[0] for cell in CI_CORPUS}
     assert engine_backed <= covered, f"uncovered scenarios: {engine_backed - covered}"
 
@@ -235,6 +245,14 @@ def test_slow_committee_grid(algorithm, family, n):
 @pytest.mark.parametrize("n", [16, 24])
 def test_slow_heal_grid(algorithm, adv, n):
     _assert_cell_equivalent(algorithm, "ring", n, 0, adv)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", scenario_names("composition"))
+@pytest.mark.parametrize("family", ["ring", "line", "gnp"])
+@pytest.mark.parametrize("n", [17, 33])
+def test_slow_composition_grid(algorithm, family, n):
+    _assert_cell_equivalent(algorithm, family, n)
 
 
 def test_is_original_parity_after_crash_of_deactivated_edge_endpoint():

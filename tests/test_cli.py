@@ -1,8 +1,14 @@
 """Tests for the command-line interface."""
 
+import ast
+import inspect
+import json
+
 import pytest
 
+from repro import cli
 from repro.cli import ALGORITHMS, build_parser, main
+from repro.registry import get_scenario, registered_algorithms, scenarios
 
 
 class TestCli:
@@ -33,9 +39,95 @@ class TestCli:
     def test_cut_in_half_on_line(self, capsys):
         assert main(["-a", "cut-in-half", "-f", "line", "--n", "32"]) == 0
 
+    def test_cut_in_half_rejected_off_family(self, capsys):
+        assert main(["-a", "cut-in-half", "-f", "ring", "--n", "16"]) == 2
+        assert "only supports families" in capsys.readouterr().err
+
     def test_parser_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["-a", "nope"])
+
+
+class TestRegistryDrivenCli:
+    """Satellite: --list and all CLI behaviour derive from the registry."""
+
+    def test_list_prints_kind_capabilities_and_paper_ref(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for spec in scenarios():
+            assert spec.name in out
+            assert spec.kind in out
+            assert spec.capabilities() in out
+            assert spec.paper in out
+
+    def test_no_scenario_name_literal_in_cli_source(self):
+        """Golden: cli.py contains no scenario-name string literal outside
+        docstrings — every name, description, capability, and default
+        comes from the registry."""
+        source = inspect.getsource(cli)
+        tree = ast.parse(source)
+        docstrings = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                doc = ast.get_docstring(node, clean=False)
+                if doc is not None:
+                    docstrings.add(doc)
+        names = set(registered_algorithms())
+        offenders = [
+            node.value
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in names
+            and node.value not in docstrings
+        ]
+        assert offenders == [], f"scenario name literals in cli.py: {offenders}"
+
+    def test_no_capability_tuples_outside_registry(self):
+        """Golden: the hand-maintained capability tuples are gone."""
+        source = inspect.getsource(cli)
+        for tombstone in ("CENTRALIZED_ALGORITHMS", "ADVERSARY_ALGORITHMS", "DESCRIPTIONS"):
+            assert tombstone not in source
+
+    def test_algorithms_compat_map_derives_from_registry(self):
+        for name, (description, runner) in ALGORITHMS.items():
+            spec = get_scenario(name)
+            assert description == spec.description
+            assert runner is spec.runner
+
+    def test_scenario_param_flag_reaches_runner(self, capsys):
+        assert main(["-a", "star-heal", "-f", "ring", "--n", "16", "--strikes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out
+
+    def test_scenario_param_rejected_for_incapable(self, capsys):
+        assert main(["-a", "star", "--n", "16", "--strikes", "2"]) == 2
+        assert "strikes" in capsys.readouterr().err
+
+
+class TestCompositionCli:
+    def test_composition_run(self, capsys):
+        assert main(["-a", "star+flood", "-f", "line", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "transform_rounds" in out and "solve_rounds" in out
+
+    def test_composition_trace_prints_stage_activity(self, capsys):
+        assert main(["-a", "star+flood", "-f", "line", "--n", "16", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "transform activity" in out and "solve activity" in out
+
+    def test_composition_on_dense_backend(self, capsys):
+        assert main(["-a", "wreath+flood", "-f", "ring", "--n", "16",
+                     "--backend", "dense"]) == 0
+        assert "dense" in capsys.readouterr().out
+
+    def test_composition_sweep(self, capsys):
+        assert main([
+            "sweep", "-a", "star+flood,flood-baseline", "-f", "line",
+            "--sizes", "16", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "solve_rounds" in out
 
 
 class TestSweepCommand:
@@ -59,9 +151,7 @@ class TestSweepCommand:
             "sweep", "-a", "star", "-f", "line", "--sizes", "12",
             "--json", str(json_path), "--csv", str(csv_path), "--quiet",
         ]) == 0
-        import json as json_mod
-
-        rows = json_mod.loads(json_path.read_text())
+        rows = json.loads(json_path.read_text())
         assert rows[0]["algorithm"] == "star"
         assert csv_path.read_text().startswith("algorithm,")
 
@@ -78,6 +168,36 @@ class TestSweepCommand:
 
     def test_sweep_unknown_family_fails(self, capsys):
         assert main(["sweep", "-a", "star", "-f", "nope", "--quiet"]) == 2
+
+    def test_sweep_family_capability_fails_fast(self, capsys):
+        assert main(["sweep", "-a", "cut-in-half", "-f", "ring", "--sizes", "16",
+                     "--quiet"]) == 2
+        assert "only supports families" in capsys.readouterr().err
+
+
+class TestSweepResume:
+    def test_resume_is_byte_identical(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = [
+            "sweep", "-a", "star+flood,flood-baseline", "-f", "line",
+            "--sizes", "16,24", "--resume", str(cache), "--quiet",
+        ]
+        fresh_json = tmp_path / "fresh.json"
+        resumed_json = tmp_path / "resumed.json"
+        assert main(args + ["--json", str(fresh_json)]) == 0
+        cells = sorted((cache / "cells").glob("*.json"))
+        assert len(cells) == 4
+        for path in cells[:2]:
+            path.unlink()
+        assert main(args + ["--json", str(resumed_json)]) == 0
+        assert resumed_json.read_bytes() == fresh_json.read_bytes()
+
+    def test_resume_creates_manifest(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["sweep", "-a", "star", "-f", "ring", "--sizes", "12",
+                     "--resume", str(cache), "--quiet"]) == 0
+        manifest = json.loads((cache / "manifest.json").read_text())
+        assert manifest["cells"][0]["algorithm"] == "star"
 
 
 class TestAdversaryFlags:

@@ -11,9 +11,9 @@ including the adversary code paths of the heal scenarios.
 
 import pytest
 
-from repro.analysis import CENTRALIZED_ALGORITHMS, get_algorithm, registered_algorithms
-from repro.engine import BACKENDS
+from repro.engine import BACKENDS, iter_traces
 from repro.graphs import families
+from repro.registry import get_scenario, registered_algorithms
 
 #: scenario -> (family, n) kept small enough for the tier-1 budget.
 WORKLOADS = {
@@ -25,21 +25,22 @@ WORKLOADS = {
     "cut-in-half": ("line", 17),
     "star-heal": ("ring", 16),
     "wreath-heal": ("ring", 16),
+    "star+flood": ("line", 24),
+    "wreath+flood": ("ring", 16),
+    "flood-baseline": ("gnp", 25),
+    "star+leader": ("random_tree", 21),
 }
 
 
-def _trace_bytes(algorithm: str, backend: str | None) -> list[str]:
+def _trace_bytes(algorithm: str, backend: str | None) -> list:
     family, n = WORKLOADS[algorithm]
-    runner = get_algorithm(algorithm)
+    spec = get_scenario(algorithm)
     graph = families.make(family, n)
     kwargs = {"collect_trace": True}
     if backend is not None:
         kwargs["backend"] = backend
-    result = runner(graph, **kwargs)
-    episodes = getattr(result, "episodes", None)  # heal scenarios
-    if episodes is not None:
-        return [ep.trace.to_jsonl() for ep in episodes]
-    return [result.trace.to_jsonl()]
+    result = spec.runner(graph, **kwargs)
+    return [(label, trace.to_jsonl()) for label, trace in iter_traces(result)]
 
 
 def test_every_registered_scenario_has_a_workload():
@@ -51,7 +52,7 @@ def test_every_registered_scenario_has_a_workload():
 @pytest.mark.parametrize("algorithm", sorted(WORKLOADS))
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_repeat_run_is_byte_identical(algorithm, backend):
-    if algorithm in CENTRALIZED_ALGORITHMS:
+    if not get_scenario(algorithm).supports_backend:
         if backend != "reference":
             pytest.skip("centralized strategies have no backend")
         backend = None

@@ -14,7 +14,12 @@ from repro.problems import (
     is_dissemination_complete,
     is_leader_election_solved,
     leader_is_max_uid,
+    run_flood_baseline,
+    run_leader_election,
+    run_star_then_flood,
+    run_star_then_leader,
     run_token_dissemination,
+    run_wreath_then_flood,
     transform_then_disseminate,
 )
 
@@ -94,3 +99,72 @@ class TestComposition:
         g = graphs.line_graph(80)
         baseline = disseminate_without_transform(g)
         assert baseline.rounds >= 79
+
+
+class TestDistributedLeaderElection:
+    def test_elects_max_uid_on_families(self):
+        for family in ("star", "ring", "gnp"):
+            g = graphs.make(family, 20)
+            res = run_leader_election(g)
+            assert is_leader_election_solved(res)
+            assert elected_uid(res) == max(g.nodes())
+
+    def test_trace_identical_to_plain_flooding(self):
+        """The election program is flooding plus a status stamp at halt:
+        its broadcasts — hence its trace — must match FloodTokensProgram."""
+        g = graphs.make("ring", 18)
+        flood = run_token_dissemination(g, collect_trace=True)
+        elect = run_leader_election(graphs.make("ring", 18), collect_trace=True)
+        assert elect.trace.to_jsonl() == flood.trace.to_jsonl()
+
+
+class TestPipelines:
+    def test_star_then_flood_aggregates_stages(self):
+        g = graphs.make("line", 48)
+        res = run_star_then_flood(g)
+        (t_name, transform), (s_name, solve) = res.stages
+        assert (t_name, s_name) == ("transform", "solve")
+        assert res.rounds == transform.rounds + solve.rounds
+        assert res.metrics.total_activations == (
+            transform.metrics.total_activations + solve.metrics.total_activations
+        )
+        assert res.metrics.max_activated_degree == max(
+            transform.metrics.max_activated_degree, solve.metrics.max_activated_degree
+        )
+        assert is_dissemination_complete(solve)
+        assert res.final_graph().number_of_nodes() == 48
+
+    def test_stage_accessor(self):
+        res = run_flood_baseline(graphs.make("line", 12))
+        assert res.stage("solve").rounds == res.rounds
+        with pytest.raises(KeyError, match="transform"):
+            res.stage("transform")
+
+    def test_wreath_then_flood_solves_fast(self):
+        res = run_wreath_then_flood(graphs.make("line", 64))
+        assert is_dissemination_complete(res.stage("solve"))
+        assert res.stage("solve").rounds <= 30  # over an O(log n)-depth tree
+
+    def test_star_then_leader_solves_election(self):
+        res = run_star_then_leader(graphs.make("line", 40))
+        assert is_leader_election_solved(res.stage("solve"))
+        assert leader_is_max_uid(res.stage("solve"))
+        # The star hub and the flood-elected leader agree (both max UID).
+        assert elected_uid(res.stage("solve")) == elected_uid(res.stage("transform"))
+
+    def test_pipeline_programs_are_final_stage(self):
+        res = run_star_then_leader(graphs.make("ring", 12))
+        assert res.programs is res.stages[-1][1].programs
+
+    def test_stage_columns_shape(self):
+        cols = run_star_then_flood(graphs.make("ring", 12)).stage_columns()
+        assert set(cols) == {
+            "transform_rounds", "transform_activations",
+            "solve_rounds", "solve_activations",
+        }
+
+    def test_composition_beats_flooding_at_scale_via_pipeline(self):
+        g = graphs.make("line", 300)
+        composed = run_star_then_flood(g)
+        baseline = run_flood_baseline(graphs.make("line", 300))
+        assert composed.rounds < baseline.rounds

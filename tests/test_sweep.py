@@ -1,4 +1,4 @@
-"""Tests for the SweepPlan/scenario-registry subsystem."""
+"""Tests for the SweepPlan subsystem (registry tests: test_registry.py)."""
 
 import csv
 import json
@@ -9,6 +9,7 @@ from repro.analysis import (
     SweepCell,
     SweepPlan,
     SweepResult,
+    cell_key,
     get_algorithm,
     register_algorithm,
     registered_algorithms,
@@ -17,9 +18,17 @@ from repro.analysis import (
 from repro.core import run_graph_to_star
 from repro.errors import ConfigurationError
 from repro.graphs import families
+from repro.problems import run_flood_baseline
 
 
-class TestRegistry:
+def _flood_impostor(graph, **kwargs):
+    """Module-level (picklable) stand-in: far cheaper than GraphToStar."""
+    return run_flood_baseline(graph, **kwargs)
+
+
+class TestRegistryCompat:
+    """The analysis layer re-exports the registry's resolution API."""
+
     def test_defaults_present(self):
         names = registered_algorithms()
         for name in ("star", "wreath", "thin-wreath", "clique", "euler", "cut-in-half"):
@@ -32,17 +41,14 @@ class TestRegistry:
         with pytest.raises(ConfigurationError, match="unknown algorithm"):
             get_algorithm("no-such-algo")
 
-    def test_register_and_overwrite_guard(self):
-        register_algorithm("star-alias-for-test", run_graph_to_star)
-        try:
-            assert get_algorithm("star-alias-for-test") is run_graph_to_star
-            with pytest.raises(ConfigurationError, match="already registered"):
-                register_algorithm("star-alias-for-test", run_graph_to_star)
-            register_algorithm("star-alias-for-test", run_graph_to_star, overwrite=True)
-        finally:
-            from repro.analysis import sweep as sweep_mod
+    def test_register_algorithm_reexported(self):
+        from repro.registry import unregister_scenario
 
-            sweep_mod._REGISTRY.pop("star-alias-for-test", None)
+        register_algorithm("sweep-alias-for-test", run_graph_to_star)
+        try:
+            assert get_algorithm("sweep-alias-for-test") is run_graph_to_star
+        finally:
+            unregister_scenario("sweep-alias-for-test")
 
 
 class TestPlan:
@@ -119,6 +125,14 @@ class TestSeededFamilies:
     def test_mixed_seeds_stamp_every_row(self):
         result = SweepPlan.grid(["star"], ["ring"], [16], seeds=(0, 3)).run()
         assert [r.as_dict().get("seed") for r in result.rows] == [0, 3]
+
+    def test_seed_zero_is_stamped_unconditionally(self):
+        # Regression: `if cell.seed:` silently dropped seed 0, leaving
+        # mixed-seed tables ragged; every row now records its seed.
+        for algorithm in ("star", "euler", "star+flood"):
+            result = SweepPlan.grid([algorithm], ["ring"], [12]).run()
+            assert result.rows[0].extra["seed"] == 0
+            assert result.rows[0].as_dict()["seed"] == 0
 
     def test_uid_structured_family_rejects_seed(self):
         with pytest.raises(ConfigurationError, match="UID placement"):
@@ -226,3 +240,247 @@ class TestBackendSweeps:
     def test_parallel_dense_sweep_byte_identical_to_serial(self):
         plan = SweepPlan.grid(["star"], ["ring", "line"], [12, 16], backend="dense")
         assert plan.run().to_json() == plan.run(parallel=True, max_workers=2).to_json()
+
+
+class TestCompositionSweeps:
+    def test_pipeline_rows_carry_stage_columns(self):
+        result = SweepPlan.grid(["star+flood"], ["line"], [24]).run()
+        row = result.rows[0].as_dict()
+        assert row["transform_rounds"] + row["solve_rounds"] == row["rounds"]
+        assert (
+            row["transform_activations"] + row["solve_activations"]
+            == row["total_activations"]
+        )
+
+    def test_single_stage_baseline_has_solve_columns_only(self):
+        row = SweepPlan.grid(["flood-baseline"], ["line"], [16]).run().rows[0].as_dict()
+        assert row["solve_rounds"] == row["rounds"] == 16
+        assert "transform_rounds" not in row
+
+    def test_family_capability_enforced_in_cells(self):
+        plan = SweepPlan.grid(["cut-in-half"], ["ring"], [12])
+        with pytest.raises(ConfigurationError, match="only supports families"):
+            plan.run()
+
+    def test_trace_capability_enforced_per_cell(self):
+        from repro.registry import ScenarioSpec, register_scenario, unregister_scenario
+
+        plan = SweepPlan.grid(["star"], ["ring"], [12],
+                              runner_kwargs={"collect_trace": True})
+        assert len(plan.run().rows) == 1  # star supports traces
+        register_scenario(ScenarioSpec(
+            "traceless-for-test", run_graph_to_star, "distributed",
+            supports_trace=False,
+        ))
+        try:
+            traceless = SweepPlan.grid(["traceless-for-test"], ["ring"], [12],
+                                       runner_kwargs={"collect_trace": True})
+            with pytest.raises(ConfigurationError, match="supports_trace"):
+                traceless.run()
+        finally:
+            unregister_scenario("traceless-for-test")
+
+    def test_adversary_on_composition_cell_rejected(self):
+        from repro.dynamics import AdversarySpec
+
+        plan = SweepPlan.grid(
+            ["star+flood"], ["ring"], [12],
+            adversary=AdversarySpec("drop", policy="reroute"),
+        )
+        with pytest.raises(ConfigurationError, match="not self-stabilizing"):
+            plan.run()
+
+    def test_composition_parallel_byte_identical(self):
+        plan = SweepPlan.grid(
+            ["star+flood", "flood-baseline"], ["line", "ring"], [16]
+        )
+        assert plan.run().to_json() == plan.run(parallel=True, max_workers=2).to_json()
+
+    def test_composition_beats_flooding_on_line(self):
+        """Section 1.3 payoff, as a sweep would measure it."""
+        rows = SweepPlan.grid(["star+flood", "flood-baseline"], ["line"], [256]).run().rows
+        composed, baseline = rows
+        assert composed.rounds < baseline.rounds
+
+
+class TestResumableSweeps:
+    def _plan(self):
+        return SweepPlan.grid(["star", "euler", "star+flood"], ["ring", "line"], [12, 16])
+
+    def test_fresh_run_writes_manifest_and_cells(self, tmp_path):
+        plan = self._plan()
+        result = plan.run(resume_dir=tmp_path / "cache")
+        manifest = json.loads((tmp_path / "cache" / "manifest.json").read_text())
+        assert len(manifest["cells"]) == len(plan) == len(result.rows)
+        assert len(list((tmp_path / "cache" / "cells").glob("*.json"))) == len(plan)
+        # Manifest keys match the keyed cell files, in plan order.
+        keys = [c["key"] for c in manifest["cells"]]
+        for key in keys:
+            assert (tmp_path / "cache" / "cells" / f"{key}.json").exists()
+
+    def test_resume_after_deleting_half_is_byte_identical(self, tmp_path):
+        plan = self._plan()
+        fresh = plan.run(resume_dir=tmp_path / "cache").to_json()
+        cells = sorted((tmp_path / "cache" / "cells").glob("*.json"))
+        for path in cells[: len(cells) // 2]:
+            path.unlink()
+        resumed = plan.run(resume_dir=tmp_path / "cache").to_json()
+        assert resumed == fresh
+        # And a cold fresh run (no cache at all) agrees byte for byte.
+        assert plan.run().to_json() == fresh
+
+    def test_resume_executes_only_missing_cells(self, tmp_path, monkeypatch):
+        from repro.analysis import sweep as sweep_mod
+
+        plan = self._plan()
+        plan.run(resume_dir=tmp_path / "cache")
+        executed = []
+        real = sweep_mod._execute_cell
+
+        def counting(cell, spec, kwargs):
+            executed.append(cell)
+            return real(cell, spec, kwargs)
+
+        monkeypatch.setattr(sweep_mod, "_execute_cell", counting)
+        plan.run(resume_dir=tmp_path / "cache")
+        assert executed == []  # fully cached
+        victim = next((tmp_path / "cache" / "cells").glob("*.json"))
+        victim.unlink()
+        plan.run(resume_dir=tmp_path / "cache")
+        assert len(executed) == 1
+
+    def test_parallel_resume_byte_identical(self, tmp_path):
+        plan = self._plan()
+        fresh = plan.run(resume_dir=tmp_path / "cache").to_json()
+        cells = sorted((tmp_path / "cache" / "cells").glob("*.json"))
+        for path in cells[::2]:
+            path.unlink()
+        resumed = plan.run(
+            parallel=True, max_workers=2, resume_dir=tmp_path / "cache"
+        ).to_json()
+        assert resumed == fresh
+
+    def test_cache_key_covers_kwargs_backend_and_version(self, monkeypatch):
+        from repro.registry import ScenarioSpec, get_scenario
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        spec = get_scenario("star")
+        cell = SweepCell("star", "ring", 16)
+        base = cell_key(spec, cell, {})
+        assert base == cell_key(spec, cell, {})  # deterministic
+        assert base != cell_key(spec, cell, {"check_connectivity": True})
+        assert base != cell_key(spec, SweepCell("star", "ring", 16, seed=3), {})
+        assert base != cell_key(spec, SweepCell("star", "ring", 16, backend="dense"), {})
+        bumped = ScenarioSpec(
+            spec.name, spec.runner, spec.kind, description=spec.description,
+            version=spec.version + 1,
+        )
+        assert base != cell_key(bumped, cell, {})
+
+    def test_cache_key_resolves_default_backend(self, monkeypatch):
+        """A sweep re-run under a different REPRO_BACKEND must re-execute
+        rather than return the other engine's cached rows."""
+        from repro.registry import get_scenario
+
+        spec = get_scenario("star")
+        cell = SweepCell("star", "ring", 16)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        ref_key = cell_key(spec, cell, {})
+        monkeypatch.setenv("REPRO_BACKEND", "dense")
+        assert cell_key(spec, cell, {}) != ref_key
+        assert cell_key(spec, SweepCell("star", "ring", 16, backend="dense"), {}) == cell_key(spec, cell, {})
+
+    def test_uncacheable_runner_kwargs_clear_error(self):
+        from repro.registry import get_scenario
+
+        class Opaque:  # no JSON form, not callable
+            pass
+
+        with pytest.raises(ConfigurationError, match="not cacheable"):
+            cell_key(get_scenario("star"), SweepCell("star", "ring", 8), {"x": Opaque()})
+        # Callables hash by module-qualified name, not by repr/address.
+        a = cell_key(get_scenario("star"), SweepCell("star", "ring", 8),
+                     {"f": run_graph_to_star})
+        b = cell_key(get_scenario("star"), SweepCell("star", "ring", 8),
+                     {"f": run_graph_to_star})
+        assert a == b
+
+    def test_truncated_cell_file_reexecutes(self, tmp_path):
+        plan = self._plan()
+        fresh = plan.run(resume_dir=tmp_path / "cache").to_json()
+        victim = next(iter(sorted((tmp_path / "cache" / "cells").glob("*.json"))))
+        victim.write_text('{"algorithm": "star", "fam')  # torn write
+        assert plan.run(resume_dir=tmp_path / "cache").to_json() == fresh
+
+    def test_wrong_shape_cell_file_reexecutes(self, tmp_path):
+        # Valid JSON of a foreign/older schema is stale, not fatal.
+        plan = self._plan()
+        fresh = plan.run(resume_dir=tmp_path / "cache").to_json()
+        cells = sorted((tmp_path / "cache" / "cells").glob("*.json"))
+        cells[0].write_text("{}\n")
+        cells[1].write_text("[]\n")
+        assert plan.run(resume_dir=tmp_path / "cache").to_json() == fresh
+
+    def test_adhoc_runner_does_not_reuse_registered_cache(self, tmp_path):
+        # A plan-local runner shadowing a registered name must not be
+        # served the registered scenario's cached rows (the runner's
+        # module-qualified identity is part of the cache key).
+        registered = SweepPlan.grid(["star"], ["ring"], [12]).run(
+            resume_dir=tmp_path / "cache"
+        )
+        shadowed = SweepPlan.grid({"star": _flood_impostor}, ["ring"], [12]).run(
+            resume_dir=tmp_path / "cache"
+        )
+        assert shadowed.rows[0].rounds != registered.rows[0].rounds
+        assert shadowed.rows[0].rounds == run_flood_baseline(
+            families.make("ring", 12)
+        ).rounds
+
+    def test_non_string_dict_keys_not_cacheable(self):
+        from repro.registry import get_scenario
+
+        with pytest.raises(ConfigurationError, match="non-string keys"):
+            cell_key(get_scenario("star"), SweepCell("star", "ring", 8),
+                     {"cfg": {1: "a"}})
+
+    def test_identity_less_callables_not_cacheable(self):
+        # Lambdas/closures share qualnames across bodies and partials
+        # have none at all; both must refuse to cache rather than serve
+        # (or thrash) another callable's rows.
+        import functools
+
+        from repro.registry import get_scenario
+
+        cell = SweepCell("star", "ring", 8)
+        for bad in (
+            lambda g: g,
+            functools.partial(run_graph_to_star),
+        ):
+            with pytest.raises(ConfigurationError, match="not cacheable"):
+                cell_key(get_scenario("star"), cell, {"hook": bad})
+
+    def test_adhoc_lambda_runner_not_resumable(self, tmp_path):
+        plan = SweepPlan.grid({"mine": lambda g, **k: run_graph_to_star(g)},
+                              ["ring"], [8])
+        assert len(plan.run().rows) == 1  # fine without a cache
+        with pytest.raises(ConfigurationError, match="not cacheable"):
+            plan.run(resume_dir=tmp_path / "cache")
+
+    def test_runner_kwargs_change_invalidates(self, tmp_path, monkeypatch):
+        from repro.analysis import sweep as sweep_mod
+
+        plan = SweepPlan.grid(["star"], ["ring"], [16])
+        plan.run(resume_dir=tmp_path / "cache")
+        executed = []
+        real = sweep_mod._execute_cell
+
+        def counting(cell, spec, kwargs):
+            executed.append(cell)
+            return real(cell, spec, kwargs)
+
+        monkeypatch.setattr(sweep_mod, "_execute_cell", counting)
+        changed = SweepPlan.grid(
+            ["star"], ["ring"], [16], runner_kwargs={"check_connectivity": True}
+        )
+        changed.run(resume_dir=tmp_path / "cache")
+        assert len(executed) == 1  # cache miss: kwargs are part of the key
