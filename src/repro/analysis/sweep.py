@@ -146,12 +146,18 @@ class SweepCell:
     backend: str | None = None
 
 
-def _execute_cell(cell: SweepCell, spec: ScenarioSpec, runner_kwargs: dict) -> SweepRow:
+def _execute_cell(
+    cell: SweepCell, spec: ScenarioSpec, runner_kwargs: dict, check: bool = False
+) -> SweepRow:
     """Run one cell (also the process-pool task; must stay module-level).
 
     Capability checks go through :func:`repro.registry.check_cell` — the
     same single path the CLI uses — so a plan that exceeds a scenario's
     declared capabilities fails with the same message everywhere.
+
+    With ``check=True`` the spec's declared invariants run online as
+    round observers (:mod:`repro.conformance`) and their verdicts are
+    stamped into the row as ``inv_<name>`` columns.
     """
     check_cell(
         spec, family=cell.family, backend=cell.backend, adversary=cell.adversary,
@@ -163,6 +169,12 @@ def _execute_cell(cell: SweepCell, spec: ScenarioSpec, runner_kwargs: dict) -> S
         kwargs["adversary"] = make_adversary(cell.adversary)
     if cell.backend is not None:
         kwargs["backend"] = cell.backend
+    checkers = []
+    if check and spec.invariants:
+        from .. import conformance
+
+        checkers = conformance.make_checkers(spec.invariants)
+        kwargs["observers"] = [*kwargs.get("observers", ()), *checkers]
     result = spec.runner(graph, **kwargs)
     row = measure(cell.algorithm, cell.family, graph, result)
     # Every row records its seed unconditionally (seed 0 included), so
@@ -172,6 +184,8 @@ def _execute_cell(cell: SweepCell, spec: ScenarioSpec, runner_kwargs: dict) -> S
         row.extra["adversary"] = cell.adversary.label()
     if spec.supports_backend:
         row.extra["backend"] = resolve_backend(cell.backend)
+    if checkers:
+        row.extra.update(conformance.verdict_columns(checkers))
     return row
 
 
@@ -184,11 +198,16 @@ class SweepPlan:
     spec); names absent from it resolve through
     :func:`repro.registry.get_scenario`.  ``runner_kwargs`` are forwarded
     to every runner call (e.g. ``{"check_connectivity": True}``).
+
+    ``check=True`` runs every cell under its scenario's declared online
+    invariants and stamps per-cell ``inv_<name>`` verdict columns into
+    the rows (``repro sweep --check``).
     """
 
     cells: list = field(default_factory=list)
     runners: dict = field(default_factory=dict)
     runner_kwargs: dict = field(default_factory=dict)
+    check: bool = False
 
     @classmethod
     def grid(
@@ -201,13 +220,15 @@ class SweepPlan:
         adversary: AdversarySpec | None = None,
         backend: str | None = None,
         runner_kwargs: dict | None = None,
+        check: bool = False,
     ) -> "SweepPlan":
         """The full cross product algorithms × families × sizes × seeds.
 
         ``adversary`` stamps every cell with the same perturbation spec
         (each cell still gets its own fresh, identically-seeded
         adversary instance at execution time); ``backend`` stamps every
-        cell with the same engine backend.
+        cell with the same engine backend; ``check`` turns on the online
+        invariant verdicts.
         """
         runners = dict(algorithms) if isinstance(algorithms, dict) else {}
         names = list(algorithms)
@@ -218,7 +239,12 @@ class SweepPlan:
             for n in sizes
             for s in seeds
         ]
-        return cls(cells=cells, runners=runners, runner_kwargs=dict(runner_kwargs or {}))
+        return cls(
+            cells=cells,
+            runners=runners,
+            runner_kwargs=dict(runner_kwargs or {}),
+            check=check,
+        )
 
     def spec(self, name: str) -> ScenarioSpec:
         """The scenario spec a cell of this plan resolves to."""
@@ -268,7 +294,9 @@ class SweepPlan:
             self._run_parallel(pending, specs, rows, max_workers, report, cache)
         else:
             for i in pending:
-                rows[i] = _execute_cell(self.cells[i], specs[i], self.runner_kwargs)
+                rows[i] = _execute_cell(
+                    self.cells[i], specs[i], self.runner_kwargs, self.check
+                )
                 if cache is not None:
                     cache.store(i, rows[i])
                 report(self.cells[i])
@@ -278,7 +306,8 @@ class SweepPlan:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {
                 pool.submit(
-                    _execute_cell, self.cells[i], specs[i], self.runner_kwargs
+                    _execute_cell, self.cells[i], specs[i], self.runner_kwargs,
+                    self.check,
                 ): i
                 for i in pending
             }
@@ -362,7 +391,9 @@ def _canonical(value):
     )
 
 
-def cell_key(spec: ScenarioSpec, cell: SweepCell, runner_kwargs: dict) -> str:
+def cell_key(
+    spec: ScenarioSpec, cell: SweepCell, runner_kwargs: dict, check: bool = False
+) -> str:
     """Content hash identifying one cell's row in the result cache.
 
     Covers everything the row is a function of: the spec's name,
@@ -371,11 +402,18 @@ def cell_key(spec: ScenarioSpec, cell: SweepCell, runner_kwargs: dict) -> str:
     scenario's cached rows), the cell coordinates, the adversary label,
     the *resolved* backend (so a sweep re-run under a different
     ``REPRO_BACKEND`` re-executes instead of returning the other
-    engine's rows), and the canonicalized runner kwargs.  Bumping
-    ``ScenarioSpec.version`` invalidates every cached row of that
-    scenario.
+    engine's rows), the canonicalized runner kwargs, and the ``check``
+    flag with the spec's declared invariants (checked rows carry verdict
+    columns unchecked rows lack, and a re-declared invariant set must
+    re-execute).  Bumping ``ScenarioSpec.version`` invalidates every
+    cached row of that scenario.
+
+    Key schema v2 (the observer-pipeline PR): v1 keys lacked the
+    ``check``/``invariants`` fields, so every v1 cache entry is
+    invalidated by construction.
     """
     payload = {
+        "key_version": 2,
         "spec": spec.name,
         "spec_version": spec.version,
         "runner": _canonical(spec.runner),
@@ -386,6 +424,8 @@ def cell_key(spec: ScenarioSpec, cell: SweepCell, runner_kwargs: dict) -> str:
         "adversary": cell.adversary.label() if cell.adversary is not None else None,
         "backend": resolve_backend(cell.backend) if spec.supports_backend else None,
         "runner_kwargs": _canonical(runner_kwargs),
+        "check": bool(check),
+        "invariants": list(spec.invariants) if check else [],
     }
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:32]
@@ -412,15 +452,16 @@ class _CellCache:
         self.cells_dir = self.root / "cells"
         self.cells_dir.mkdir(parents=True, exist_ok=True)
         self.keys = [
-            cell_key(spec, cell, plan.runner_kwargs)
+            cell_key(spec, cell, plan.runner_kwargs, plan.check)
             for cell, spec in zip(plan.cells, specs)
         ]
         self._write_manifest(plan, specs)
 
     def _write_manifest(self, plan: SweepPlan, specs: list) -> None:
         manifest = {
-            "version": 1,
+            "version": 2,
             "runner_kwargs": _canonical(plan.runner_kwargs),
+            "check": plan.check,
             "cells": [
                 {
                     "key": key,
@@ -493,6 +534,16 @@ class SweepResult:
 
     def as_dicts(self) -> list[dict]:
         return [row.as_dict() for row in self.rows]
+
+    def failed_invariants(self) -> list:
+        """``(row, column, verdict)`` triples of red invariant verdicts
+        (rows produced by a ``check=True`` plan; empty means all green)."""
+        return [
+            (row, key, value)
+            for row in self.rows
+            for key, value in row.extra.items()
+            if key.startswith("inv_") and value != "ok"
+        ]
 
     def to_json(self, path=None) -> str:
         """Deterministic JSON (sorted keys); optionally written to ``path``."""

@@ -9,9 +9,12 @@ Usage::
     python -m repro --algorithm star --family line --n 128
     python -m repro --algorithm star+flood --family line --n 256
     python -m repro --algorithm wreath --family ring --n 64 --trace
+    python -m repro --algorithm wreath --family ring --n 8192 --trace-out t.jsonl
+    python -m repro --algorithm star --family gnp --n 256 --check
     python -m repro --algorithm star-heal --family ring --n 64 --adversary drop
     python -m repro --list
     python -m repro sweep -a star,euler -f ring,line --sizes 32,64 --parallel
+    python -m repro sweep --tier large --check --resume sweep-cache/
     python -m repro sweep -a star+flood,flood-baseline -f line --sizes 256 \\
         --resume sweep-cache/
     python -m repro sweep -a star -f ring --sizes 64 --json rows.json --csv rows.csv
@@ -22,12 +25,30 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import graphs
+from . import conformance, graphs
 from .analysis import SweepPlan, measure, print_table
 from .dynamics import ADVERSARY_KINDS, POLICIES, AdversarySpec, make_adversary
-from .engine import BACKENDS, iter_traces, resolve_backend
+from .engine import ActivityObserver, BACKENDS, JsonlSink, iter_traces, resolve_backend
 from .errors import ConfigurationError
 from .registry import DEFAULT_SCENARIO, check_cell, get_scenario, scenarios
+
+#: Named sweep grids.  The ``large`` tier is the at-scale corpus the
+#: streaming observer pipeline enables: subquadratic transforms only
+#: (a quadratic-budget scenario at n=8192 would materialize tens of
+#: millions of edges), general families, sizes past the old in-memory
+#: trace ceiling.  Algorithms are derived from the registry, never
+#: hardcoded.
+SWEEP_TIERS: dict = {
+    "large": {
+        "algorithms": lambda: [
+            spec.name
+            for spec in scenarios("distributed")
+            if not any(name.endswith("quadratic") for name in spec.invariants)
+        ],
+        "families": ["ring", "gnp"],
+        "sizes": [2048, 4096, 8192],
+    },
+}
 
 #: Backward-compatible map ``name -> (description, runner)``, derived
 #: entirely from the registry.
@@ -86,6 +107,11 @@ def _add_engine_flags(parser, *, subcommand: bool = False) -> None:
         "--adversary-policy", choices=POLICIES, default=default("skip"),
         help="connectivity policy: skip disconnecting events, or reroute them",
     )
+    parser.add_argument(
+        "--check", action="store_true", default=default(False),
+        help="run the scenario's declared paper-bound invariants online "
+             "(repro.conformance) and report per-run verdicts; exit 1 on red",
+    )
     for param in _registry_params().values():
         capable = ", ".join(
             s.name for s in scenarios() if s.param(param.name) is not None
@@ -130,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--n", type=int, default=64, help="target network size")
     parser.add_argument("--seed", type=int, default=0, help="UID permutation seed (0 = canonical)")
     parser.add_argument("--trace", action="store_true", help="print per-round activations")
+    parser.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help="stream the full JSONL trace to PATH while running "
+             "(constant memory; byte-identical to Trace.to_jsonl)",
+    )
     parser.add_argument("--check-connectivity", action="store_true")
     parser.add_argument(
         "--list", action="store_true",
@@ -143,16 +174,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an algorithms × families × sizes grid (optionally in parallel)",
     )
     sweep.add_argument(
-        "--algorithms", "-a", type=_csv_list, default=[DEFAULT_SCENARIO],
-        help="comma-separated registered algorithm names",
+        "--algorithms", "-a", type=_csv_list, default=None,
+        help=f"comma-separated registered algorithm names "
+             f"(default: the tier's grid, or {DEFAULT_SCENARIO!r})",
     )
     sweep.add_argument(
-        "--families", "-f", type=_csv_list, default=["line"],
-        help="comma-separated family names",
+        "--families", "-f", type=_csv_list, default=None,
+        help="comma-separated family names (default: the tier's grid, or 'line')",
     )
     sweep.add_argument(
-        "--sizes", "-n", type=_csv_ints, default=[64],
-        help="comma-separated target sizes",
+        "--sizes", "-n", type=_csv_ints, default=None,
+        help="comma-separated target sizes (default: the tier's grid, or 64)",
+    )
+    sweep.add_argument(
+        "--tier", choices=sorted(SWEEP_TIERS), default=None,
+        help="named sweep grid preset; 'large' runs the subquadratic "
+             "transforms on general families at n=2048..8192 (streaming "
+             "observers keep memory bounded) — explicit -a/-f/--sizes "
+             "flags override the preset field-by-field",
     )
     sweep.add_argument(
         "--seeds", type=_csv_ints, default=[0],
@@ -205,19 +244,37 @@ def _main_list() -> int:
     return 0
 
 
+def _resolve_tier(args) -> tuple[list, list, list]:
+    """The sweep grid: explicit flags beat the tier preset beats the
+    single-cell defaults, field by field."""
+    tier = SWEEP_TIERS.get(args.tier) if args.tier else None
+    algorithms = args.algorithms
+    if algorithms is None:
+        algorithms = tier["algorithms"]() if tier else [DEFAULT_SCENARIO]
+    families_ = args.families
+    if families_ is None:
+        families_ = list(tier["families"]) if tier else ["line"]
+    sizes = args.sizes
+    if sizes is None:
+        sizes = list(tier["sizes"]) if tier else [64]
+    return algorithms, families_, sizes
+
+
 def _main_sweep(args) -> int:
-    for family in args.families:
+    algorithms, families_, sizes = _resolve_tier(args)
+    for family in families_:
         if family not in graphs.FAMILIES:
             print(f"unknown family {family!r}; known: {sorted(graphs.FAMILIES)}",
                   file=sys.stderr)
             return 2
-    code = _check_cells(args, args.algorithms, args.families)
+    code = _check_cells(args, algorithms, families_)
     if code:
         return code
     plan = SweepPlan.grid(
-        args.algorithms, args.families, args.sizes,
+        algorithms, families_, sizes,
         seeds=args.seeds, adversary=_adversary_spec(args),
         backend=args.backend, runner_kwargs=_provided_params(args),
+        check=args.check,
     )
     result = plan.run(
         parallel=args.parallel,
@@ -234,6 +291,16 @@ def _main_sweep(args) -> int:
         title=f"sweep: {len(plan)} cells in {result.elapsed:.2f}s"
         + (" (parallel)" if args.parallel else ""),
     )
+    if args.check:
+        failed = result.failed_invariants()
+        for row, column, verdict in failed:
+            print(
+                f"invariant violated: {row.algorithm}/{row.family}/n={row.n} "
+                f"{column[len('inv_'):]}: {verdict}",
+                file=sys.stderr,
+            )
+        if failed:
+            return 1
     return 0
 
 
@@ -250,8 +317,30 @@ def main(argv=None) -> int:
     spec = get_scenario(args.algorithm)
     graph = graphs.make(args.family, args.n, seed=args.seed)
     kwargs = _provided_params(args)
+    # Every sink on the run is a streaming observer: --trace keeps only
+    # a bounded activity summary, --trace-out streams JSONL to disk, and
+    # --check runs the online invariant checkers — the full trace is
+    # never materialized in memory, whatever the combination.
+    observers: list = []
+    activity = sink = None
+    checkers: list = []
+    if args.trace or args.trace_out:
+        try:
+            check_cell(spec, trace=True)
+        except ConfigurationError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     if args.trace:
-        kwargs["collect_trace"] = True
+        activity = ActivityObserver()
+        observers.append(activity)
+    if args.trace_out:
+        sink = JsonlSink(args.trace_out)
+        observers.append(sink)
+    if args.check:
+        checkers = conformance.make_checkers(spec.invariants)
+        observers.extend(checkers)
+    if observers:
+        kwargs["observers"] = observers
     if args.check_connectivity and spec.supports_backend:
         kwargs["check_connectivity"] = True
     if args.backend is not None:
@@ -259,7 +348,11 @@ def main(argv=None) -> int:
     adversary = _adversary_spec(args)
     if adversary is not None:
         kwargs["adversary"] = make_adversary(adversary)
-    result = spec.runner(graph, **kwargs)
+    try:
+        result = spec.runner(graph, **kwargs)
+    finally:
+        if sink is not None:
+            sink.close()
 
     row = measure(args.algorithm, args.family, graph, result).as_dict()
     if adversary is not None:
@@ -273,22 +366,28 @@ def main(argv=None) -> int:
     recovery = getattr(result, "recovery", None)
     if recovery is not None:
         print_table([recovery.as_dict()], title="recovery")
-    if args.trace:
-        for label, trace in iter_traces(result):
-            _print_activity(trace, f"{label} activity" if label else "activity")
+    if activity is not None:
+        # Segment i of the activity stream is the i-th iter_traces label
+        # (stages/episodes arrive in execution order); the labels come
+        # from the result shape, the rounds were summarized online.
+        labels = [label for label, _ in iter_traces(result)]
+        for label, segment in zip(labels, activity.segments):
+            title = f"{label} activity" if label else "activity"
+            print_table(
+                segment[: activity.limit],
+                title=f"{title} (first {activity.limit} active rounds)",
+            )
+    if args.check:
+        verdicts = [c.verdict() for c in checkers]
+        print_table(
+            [{v.invariant: v.cell for v in verdicts}]
+            if verdicts
+            else [{"invariants": "none declared"}],
+            title="invariants",
+        )
+        if any(not v.ok for v in verdicts):
+            return 1
     return 0
-
-
-def _print_activity(trace, title: str, limit: int = 50) -> None:
-    if trace is None:
-        return
-    active = [
-        {"round": r.round, "activations": len(r.activations),
-         "deactivations": len(r.deactivations), "active_edges": r.active_edges}
-        for r in trace
-        if r.activations or r.deactivations
-    ]
-    print_table(active[:limit], title=f"{title} (first {limit} active rounds)")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

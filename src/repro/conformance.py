@@ -1,0 +1,567 @@
+"""Online conformance checking: the paper's bounds as round observers.
+
+Each :class:`InvariantChecker` is a
+:class:`~repro.engine.observers.RoundObserver` that verifies one
+invariant *while the run executes* (constant memory, no materialized
+trace) and reports a :class:`Verdict` afterwards.  Scenarios declare
+their invariants on the :class:`~repro.registry.ScenarioSpec`
+(``invariants=``); ``repro run/sweep --check`` builds the checkers and
+enforces or stamps the verdicts.
+
+The invariant families (see DESIGN.md, "Observer pipeline &
+conformance", for the paper references):
+
+* ``connectivity`` — the active graph stays connected after every
+  committed round and every adversary strike (the paper's algorithms
+  never break connectivity; Lemma 2.1-style safety).
+* ``temporal-legality`` — the *effective* action stream is legal over
+  time: every activation joins two currently-non-adjacent nodes at
+  distance exactly 2, every deactivation removes a currently active
+  edge, and the per-round ``active_edges``/``activated_edges`` counters
+  are consistent with the replayed edge set.  This is what catches a
+  tampered trace.
+* ``rounds:log`` / ``rounds:polylog`` — round-count envelopes
+  ``c*log2(n) + k`` / ``c*log2(n)^2 + k`` per run segment (O(log n)
+  GraphToStar, O(log^2 n) wreath constructions).
+* ``edges:linear`` / ``edges:nlogn`` / ``edges:quadratic`` — per-round
+  budget on ``|E(i) \\ E(1)|`` (activated edges watermark).
+* ``activations:nlogn`` / ``activations:quadratic`` — cumulative
+  total-activation budget per segment (O(n log n) for the
+  edge-efficient transforms vs Theta(n^2) for the clique baseline).
+
+Checkers recompute their size-dependent bounds at every
+``on_run_start`` from the segment's own network, so multi-segment
+results (pipelines, self-healing episodes, churned node counts) are
+bounded per segment.  Budget constants are deliberately generous
+envelopes — they assert the *asymptotic shape* with slack, not the
+tightest constant — and are calibrated against the full registry corpus
+(``tests/test_conformance.py`` keeps them all-green).
+
+:func:`check_trace` replays a recorded trace through the same checkers,
+so archived JSONL can be audited offline with identical semantics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .engine.observers import RoundObserver
+from .errors import ConfigurationError, InvariantViolation
+
+__all__ = [
+    "BUDGETS",
+    "ConnectivityChecker",
+    "EdgeBudgetChecker",
+    "InvariantChecker",
+    "InvariantViolation",
+    "RoundBoundChecker",
+    "TemporalLegalityChecker",
+    "TotalActivationChecker",
+    "Verdict",
+    "check_trace",
+    "enforce",
+    "make_checkers",
+    "verdict_columns",
+]
+
+#: Cap on retained failure details: verdicts stay constant-memory even
+#: when an invariant fails on every round of a long run.
+_MAX_DETAILS = 4
+
+
+def _log2ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+class Verdict:
+    """The outcome of one invariant over one (multi-segment) execution."""
+
+    __slots__ = ("invariant", "ok", "detail")
+
+    def __init__(self, invariant: str, ok: bool, detail: str = "") -> None:
+        self.invariant = invariant
+        self.ok = ok
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "ok" if self.ok else f"FAIL ({self.detail})"
+        return f"Verdict({self.invariant}: {status})"
+
+    @property
+    def cell(self) -> str:
+        """Compact table/CSV cell value (``ok`` or ``FAIL: ...``)."""
+        return "ok" if self.ok else f"FAIL: {self.detail}"
+
+
+class InvariantChecker(RoundObserver):
+    """Base class: failure accounting shared by every checker."""
+
+    #: The registry name this checker was built from (set by make_checkers).
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self._failures: list = []
+        self._suppressed = 0
+        self._segment = 0
+
+    def _fail(self, detail: str) -> None:
+        if len(self._failures) < _MAX_DETAILS:
+            self._failures.append(detail)
+        else:
+            self._suppressed += 1
+
+    @property
+    def ok(self) -> bool:
+        return not self._failures
+
+    def verdict(self) -> Verdict:
+        detail = "; ".join(self._failures)
+        if self._suppressed:
+            detail += f"; +{self._suppressed} more"
+        return Verdict(self.name, self.ok, detail)
+
+    def on_run_start(self, network) -> None:
+        self._segment += 1
+
+    def _where(self, round_no) -> str:
+        return f"segment {self._segment} round {round_no}"
+
+
+# ----------------------------------------------------------------------
+# structural invariants (replay the edge set from the record stream)
+# ----------------------------------------------------------------------
+
+
+class _EdgeReplay(InvariantChecker):
+    """Shared machinery: maintain the active adjacency from the stream.
+
+    The replayed state is a pure function of the record stream plus the
+    initial network, which is exactly what makes these checkers work
+    identically on live runs and archived traces.
+    """
+
+    def on_run_start(self, network) -> None:
+        super().on_run_start(network)
+        self._adj: dict = {u: set() for u in network.nodes}
+        self._n_edges = 0
+        for u, v in network.edges():
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._n_edges += 1
+
+    def _add_edge(self, u, v) -> bool:
+        adj = self._adj
+        if u not in adj or v not in adj or v in adj[u]:
+            return False
+        adj[u].add(v)
+        adj[v].add(u)
+        self._n_edges += 1
+        return True
+
+    def _drop_edge(self, u, v) -> bool:
+        adj = self._adj
+        if u not in adj or v not in adj[u]:
+            return False
+        adj[u].discard(v)
+        adj[v].discard(u)
+        self._n_edges -= 1
+        return True
+
+    def _apply_perturbation(self, record) -> None:
+        """Fold an external strike (unconstrained by the model's rules)."""
+        adj = self._adj
+        for u in record.crashes:
+            for v in adj.pop(u, ()):
+                adj[v].discard(u)
+                self._n_edges -= 1
+        for u, v in record.drops:
+            self._drop_edge(u, v)
+        for uid, attach in record.joins:
+            adj.setdefault(uid, set())
+            for v in attach:
+                self._add_edge(uid, v)
+        for u, v in record.adds:
+            self._add_edge(u, v)
+
+
+class ConnectivityChecker(_EdgeReplay):
+    """The active graph stays connected after every round and strike.
+
+    Connectivity is recomputed from the replayed adjacency, never
+    trusted from the record's ``connected`` flag (which is ``True``
+    whenever the run had no ``check_connectivity`` guard) — the checker
+    must catch a disconnection the engine itself was not asked to watch
+    for, e.g. a mis-behaving adversary claiming a safe policy.
+
+    Incremental: activations fold into a union-find; only rounds with
+    deactivations (and external strikes) pay a full recompute.
+    """
+
+    name = "connectivity"
+
+    # A third union-find next to the engine's ConnectivityTracker /
+    # DenseConnectivityTracker is deliberate: those fold live Network
+    # state, while this one folds the *record stream* over a replayed
+    # adjacency (including offline traces, where no Network exists) —
+    # trusting an engine tracker would defeat the audit.
+
+    def on_run_start(self, network) -> None:
+        super().on_run_start(network)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._parent = {u: u for u in self._adj}
+        self._components = len(self._adj)
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                self._union(u, v)
+
+    def _find(self, x):
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def _union(self, u, v) -> None:
+        ru, rv = self._find(u), self._find(v)
+        if ru != rv:
+            self._parent[rv] = ru
+            self._components -= 1
+
+    def on_round(self, record) -> None:
+        for u, v in record.activations:
+            self._add_edge(u, v)
+        for u, v in record.deactivations:
+            self._drop_edge(u, v)
+        if record.deactivations:
+            self._rebuild()
+        else:
+            for u, v in record.activations:
+                if u in self._parent and v in self._parent:
+                    self._union(u, v)
+        if self._components > 1:
+            self._fail(f"{self._where(record.round)}: network disconnected")
+
+    def on_perturbation(self, record) -> None:
+        self._apply_perturbation(record)
+        self._rebuild()
+        if self._components > 1:
+            self._fail(
+                f"segment {self._segment}: adversary strike before round "
+                f"{record.round} disconnected the network"
+            )
+
+
+class TemporalLegalityChecker(_EdgeReplay):
+    """Every effective set is legal against the replayed history.
+
+    Checks, per round: activations target non-adjacent node pairs at
+    distance exactly 2 *at the beginning of the round*; deactivations
+    target currently active edges; and the committed
+    ``active_edges`` / ``activated_edges`` counters match the replayed
+    edge set (the tamper check).
+    """
+
+    name = "temporal-legality"
+
+    def on_run_start(self, network) -> None:
+        super().on_run_start(network)
+        self._activated: set = set()  # activated-only edges (E(i) \ E(1))
+
+    def on_round(self, record) -> None:
+        adj = self._adj
+        where = self._where(record.round)
+        for u, v in record.activations:
+            if u not in adj or v not in adj:
+                self._fail(f"{where}: activation ({u}, {v}) names an unknown node")
+            elif v in adj[u]:
+                self._fail(f"{where}: activated already-active edge ({u}, {v})")
+            elif adj[u].isdisjoint(adj[v]):
+                self._fail(
+                    f"{where}: activated ({u}, {v}) but endpoints are not "
+                    f"at distance 2"
+                )
+        for u, v in record.deactivations:
+            if u not in adj or v not in adj[u]:
+                self._fail(f"{where}: deactivated inactive edge ({u}, {v})")
+        for u, v in record.activations:
+            if self._add_edge(u, v):
+                self._activated.add((u, v) if _le(u, v) else (v, u))
+        for u, v in record.deactivations:
+            if self._drop_edge(u, v):
+                self._activated.discard((u, v) if _le(u, v) else (v, u))
+        if record.active_edges != self._n_edges:
+            self._fail(
+                f"{where}: active_edges says {record.active_edges}, "
+                f"replay says {self._n_edges}"
+            )
+        if record.activated_edges != len(self._activated):
+            self._fail(
+                f"{where}: activated_edges says {record.activated_edges}, "
+                f"replay says {len(self._activated)}"
+            )
+
+    def on_perturbation(self, record) -> None:
+        # External events fold into the baseline E(1) (Network.apply_external
+        # semantics): adversary-created edges are not "activated" edges, and
+        # dropped/crashed activated edges stop counting.
+        self._apply_perturbation(record)
+        activated = self._activated
+        for u, v in record.drops:
+            activated.discard((u, v) if _le(u, v) else (v, u))
+        for u in record.crashes:
+            for e in [e for e in activated if u in e]:
+                activated.discard(e)
+
+
+def _le(u, v) -> bool:
+    try:
+        return u <= v
+    except TypeError:
+        return repr(u) <= repr(v)
+
+
+# ----------------------------------------------------------------------
+# budget invariants (pure functions of the record stream + n)
+# ----------------------------------------------------------------------
+
+
+class RoundBoundChecker(InvariantChecker):
+    """Per-segment round-count envelope ``bound_fn(n)``; flags online at
+    the first round past the envelope."""
+
+    def __init__(self, bound_fn, label: str) -> None:
+        super().__init__()
+        self._bound_fn = bound_fn
+        self.name = label
+
+    def on_run_start(self, network) -> None:
+        super().on_run_start(network)
+        self._bound = self._bound_fn(len(network.nodes))
+        self._rounds = 0
+        self._flagged = False
+
+    def on_round(self, record) -> None:
+        self._rounds += 1
+        if self._rounds > self._bound and not self._flagged:
+            self._flagged = True
+            self._fail(
+                f"segment {self._segment}: exceeded the {self._bound}-round "
+                f"envelope at round {record.round}"
+            )
+
+
+class EdgeBudgetChecker(InvariantChecker):
+    """Per-round activated-edge watermark budget ``bound_fn(n)``."""
+
+    def __init__(self, bound_fn, label: str) -> None:
+        super().__init__()
+        self._bound_fn = bound_fn
+        self.name = label
+
+    def on_run_start(self, network) -> None:
+        super().on_run_start(network)
+        self._bound = self._bound_fn(len(network.nodes))
+        self._flagged = False
+
+    def on_round(self, record) -> None:
+        if record.activated_edges > self._bound and not self._flagged:
+            self._flagged = True
+            self._fail(
+                f"{self._where(record.round)}: {record.activated_edges} "
+                f"activated edges exceed the budget {self._bound}"
+            )
+
+
+class TotalActivationChecker(InvariantChecker):
+    """Per-segment cumulative total-activation budget ``bound_fn(n)``."""
+
+    def __init__(self, bound_fn, label: str) -> None:
+        super().__init__()
+        self._bound_fn = bound_fn
+        self.name = label
+
+    def on_run_start(self, network) -> None:
+        super().on_run_start(network)
+        self._bound = self._bound_fn(len(network.nodes))
+        self._total = 0
+        self._flagged = False
+
+    def on_round(self, record) -> None:
+        self._total += len(record.activations)
+        if self._total > self._bound and not self._flagged:
+            self._flagged = True
+            self._fail(
+                f"{self._where(record.round)}: {self._total} cumulative "
+                f"activations exceed the budget {self._bound}"
+            )
+
+
+# ----------------------------------------------------------------------
+# the invariant registry
+# ----------------------------------------------------------------------
+
+#: Envelope constants, calibrated against the registry corpus (measured
+#: extremes at n in 16..128: star <= 13.3 log2 n rounds, wreaths
+#: <= 8.5 log2^2 n rounds, committee watermarks <= 2.4n, totals
+#: <= 2.2 n log2 n; centralized strategies <= 1.5 log2 n rounds).  The
+#: factor-2-ish headroom asserts the asymptotic shape without flaking.
+BUDGETS: dict = {
+    "rounds:log": lambda n: 24 * _log2ceil(n) + 40,
+    "rounds:polylog": lambda n: 14 * _log2ceil(n) ** 2 + 80,
+    "edges:linear": lambda n: 4 * n + 16,
+    "edges:nlogn": lambda n: 4 * n * _log2ceil(n) + 32,
+    # Note there is deliberately no "edges:quadratic": the activated-edge
+    # watermark |E(i) \ E(1)| can never exceed C(n,2), so a quadratic
+    # watermark budget would be vacuously green on every possible run.
+    # The *cumulative* quadratic budget below is falsifiable (repeated
+    # deactivate/reactivate cycles exceed it), so Theta(n^2) scenarios
+    # declare that one.
+    "activations:nlogn": lambda n: 5 * n * _log2ceil(n) + 40,
+    "activations:quadratic": lambda n: n * (n - 1) // 2,
+}
+
+_BUDGET_CHECKERS = {
+    "rounds": RoundBoundChecker,
+    "edges": EdgeBudgetChecker,
+    "activations": TotalActivationChecker,
+}
+
+
+def make_checkers(invariants) -> list:
+    """Build one fresh checker per declared invariant name.
+
+    Names are either structural (``connectivity``,
+    ``temporal-legality``) or ``family:budget`` pairs resolved through
+    :data:`BUDGETS` (e.g. ``rounds:log``, ``edges:nlogn``).
+    """
+    checkers: list = []
+    for name in invariants:
+        if name == "connectivity":
+            checkers.append(ConnectivityChecker())
+        elif name == "temporal-legality":
+            checkers.append(TemporalLegalityChecker())
+        else:
+            family = name.split(":", 1)[0]
+            cls = _BUDGET_CHECKERS.get(family)
+            bound_fn = BUDGETS.get(name)
+            if cls is None or bound_fn is None:
+                known = ["connectivity", "temporal-legality", *sorted(BUDGETS)]
+                raise ConfigurationError(
+                    f"unknown invariant {name!r}; known invariants: {known}"
+                )
+            checkers.append(cls(bound_fn, name))
+    return checkers
+
+
+def verdict_columns(checkers) -> dict:
+    """Sweep-row columns (``inv_<name>`` -> ``ok``/``FAIL: ...``)."""
+    return {f"inv_{c.name}": c.verdict().cell for c in checkers}
+
+
+def enforce(checkers, context: str = "") -> None:
+    """Raise :class:`InvariantViolation` if any checker failed."""
+    failed = [c.verdict() for c in checkers if not c.ok]
+    if failed:
+        lines = "; ".join(f"{v.invariant}: {v.detail}" for v in failed)
+        prefix = f"{context}: " if context else ""
+        raise InvariantViolation(f"{prefix}invariant(s) violated — {lines}")
+
+
+# ----------------------------------------------------------------------
+# offline replay: audit an archived trace with the same checkers
+# ----------------------------------------------------------------------
+
+
+def check_trace(graph, trace, checkers) -> list:
+    """Replay ``trace`` (recorded on ``graph``) through ``checkers``.
+
+    Events are fed in ``Trace.to_jsonl`` interleave order (each
+    perturbation before the first round record it precedes), which is
+    execution order for every engine-produced trace.  Returns the
+    verdicts, one per checker.
+
+    Multi-segment archives (a composition pipeline streamed through one
+    ``JsonlSink``, where each stage's records restart at round 1) are
+    re-segmented exactly as the live observers saw them: every round
+    reset re-enters ``on_run_start``, with the new segment's baseline
+    graph reconstructed from the replayed end state of the previous
+    one — which is the engine's own contract (each stage runs on the
+    previous stage's final graph).
+
+    Two caveats.  A perturbed multi-segment trace raises
+    :class:`ConfigurationError`: its flattened perturbation list loses
+    the segment association, so it cannot be replayed faithfully.  A
+    self-healing history (whose inter-episode strikes are applied
+    outside any run and are deliberately absent from trace data) *will*
+    parse, but its post-strike segments replay against a baseline the
+    strike silently changed, so the audit conservatively reports
+    legality failures — it flags what it cannot validate.  Audit heal
+    scenarios per episode, live.
+    """
+    segments = _split_segments(trace)
+    if len(segments) > 1 and trace.perturbations:
+        raise ConfigurationError(
+            "cannot audit a multi-segment trace with perturbations offline: "
+            "the flattened perturbation list loses its segment association "
+            "(self-healing histories audit per episode, live)"
+        )
+    tracker = _EdgeReplay()
+    net = _ReplayNetwork(graph.nodes(), graph.edges())
+    perts = sorted(trace.perturbations, key=lambda p: p.round)
+    pi = 0
+    for records in segments:
+        for c in checkers:
+            c.on_run_start(net)
+        tracker.on_run_start(net)
+        for rec in records:
+            while pi < len(perts) and perts[pi].round <= rec.round:
+                for c in checkers:
+                    c.on_perturbation(perts[pi])
+                tracker._apply_perturbation(perts[pi])
+                pi += 1
+            for c in checkers:
+                c.on_round_start(rec.round)
+                c.on_round(rec)
+            for u, v in rec.activations:
+                tracker._add_edge(u, v)
+            for u, v in rec.deactivations:
+                tracker._drop_edge(u, v)
+        # The replayed end state is the next segment's initial network.
+        net = _ReplayNetwork(
+            tracker._adj,
+            ((u, v) for u, nbrs in tracker._adj.items() for v in nbrs if _le(u, v)),
+        )
+    for pert in perts[pi:]:
+        for c in checkers:
+            c.on_perturbation(pert)
+    for c in checkers:
+        c.on_run_end(None)
+    return [c.verdict() for c in checkers]
+
+
+def _split_segments(trace) -> list:
+    """Partition records into run segments: a round number that does not
+    increase starts a new segment (each stage/episode restarts at 1)."""
+    segments: list = []
+    last = None
+    for rec in trace.records:
+        if last is None or rec.round <= last:
+            segments.append([])
+        segments[-1].append(rec)
+        last = rec.round
+    return segments or [[]]
+
+
+class _ReplayNetwork:
+    """The minimal network surface checkers read at ``on_run_start``."""
+
+    def __init__(self, nodes, edges) -> None:
+        self.nodes = frozenset(nodes)
+        self._edges = tuple(edges)
+
+    def edges(self):
+        return iter(self._edges)

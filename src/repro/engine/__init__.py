@@ -5,6 +5,7 @@ from .centralized import CentralizedResult, CentralizedStrategy, run_centralized
 from .dense import DenseConnectivityTracker, DenseContext, DenseNetwork, DenseRunner
 from .metrics import Metrics, MetricsRecorder, aggregate_metrics
 from .network import ConnectivityTracker, Network
+from .observers import ActivityObserver, JsonlSink, RoundObserver, TraceObserver
 from .program import Context, NodeProgram
 from .runner import (
     BACKENDS,
@@ -16,11 +17,15 @@ from .runner import (
 from .trace import PerturbationRecord, RoundRecord, Trace, iter_traces
 
 __all__ = [
+    "ActivityObserver",
     "BACKENDS",
     "CentralizedResult",
     "CentralizedStrategy",
     "ConnectivityTracker",
     "Context",
+    "JsonlSink",
+    "RoundObserver",
+    "TraceObserver",
     "DenseConnectivityTracker",
     "DenseContext",
     "DenseNetwork",

@@ -17,6 +17,7 @@ from ..errors import ExecutionError
 from .actions import RoundActions
 from .metrics import Metrics, MetricsRecorder
 from .network import Network
+from .observers import TraceObserver
 from .trace import RoundRecord, Trace
 
 
@@ -54,12 +55,27 @@ def run_centralized(
     check_connectivity: bool = False,
     collect_trace: bool = False,
     max_rounds: int = 10_000,
+    observers=(),
 ) -> CentralizedResult:
-    """Execute a centralized strategy round by round."""
+    """Execute a centralized strategy round by round.
+
+    Feeds the same :class:`~repro.engine.observers.RoundObserver`
+    pipeline as the distributed backends (``collect_trace`` is one
+    :class:`TraceObserver` on it), so streaming sinks and conformance
+    checkers work identically on centralized scenarios.
+    """
     network = Network(graph)
     strategy.setup(network)
     recorder = MetricsRecorder(network)
-    trace = Trace() if collect_trace else None
+    pipeline = list(observers)
+    trace_observer = None
+    if collect_trace:
+        trace_observer = TraceObserver()
+        pipeline.append(trace_observer)
+    obs = tuple(pipeline) if pipeline else None
+    if obs is not None:
+        for o in obs:
+            o.on_run_start(network)
 
     running = True
     while running:
@@ -71,25 +87,33 @@ def run_centralized(
             break
         per_node = actions.activation_count_by_actor()
         round_no = network.round
+        # Emitted after the break decision so every round-start is
+        # followed by exactly one committed-round record.
+        if obs is not None:
+            for o in obs:
+                o.on_round_start(round_no)
         activations, deactivations = network.apply(actions, strict=strict)
         recorder.record_round(activations, deactivations, per_node)
         connected = network.is_connected() if check_connectivity else True
-        if trace is not None:
-            trace.append(
-                RoundRecord(
-                    round=round_no,
-                    activations=frozenset(activations),
-                    deactivations=frozenset(deactivations),
-                    active_edges=network.num_active_edges,
-                    activated_edges=len(network.activated_edges()),
-                    connected=connected,
-                )
+        if obs is not None:
+            record = RoundRecord(
+                round=round_no,
+                activations=frozenset(activations),
+                deactivations=frozenset(deactivations),
+                active_edges=network.num_active_edges,
+                activated_edges=len(network.activated_edges()),
+                connected=connected,
             )
+            for o in obs:
+                o.on_round(record)
 
     recorder.metrics.rounds = network.round - 1
+    if obs is not None:
+        for o in obs:
+            o.on_run_end(recorder.metrics)
     return CentralizedResult(
         network=network,
         metrics=recorder.metrics,
-        trace=trace,
+        trace=trace_observer.trace if trace_observer is not None else None,
         rounds=network.round - 1,
     )

@@ -644,7 +644,7 @@ class DenseRunner(SynchronousRunner):
 
     # ------------------------------------------------------------------
 
-    def _run_round(self, recorder, trace) -> None:
+    def _run_round(self, recorder, observers) -> None:
         net = self.network
         publics = self._publics
         actions = self._actions
@@ -652,6 +652,10 @@ class DenseRunner(SynchronousRunner):
         live = self._live
         ctxs = self._ctxs
         progs = self._progs
+
+        if observers is not None:
+            for obs in observers:
+                obs.on_round_start(net.round)
 
         # 1. Send.  Only live programs send; a message to a halted
         # neighbor is legal but can never be read, so it is not enqueued.
@@ -702,18 +706,18 @@ class DenseRunner(SynchronousRunner):
         else:
             connected = True
 
-        if trace is not None:
-            trace.append(
-                RoundRecord(
-                    round=round_no,
-                    activations=frozenset(activations),
-                    deactivations=frozenset(deactivations),
-                    active_edges=net.num_active_edges,
-                    activated_edges=net.num_activated_edges,
-                    connected=connected,
-                    barrier_epoch=self.barrier_epoch,
-                )
+        if observers is not None:
+            record = RoundRecord(
+                round=round_no,
+                activations=frozenset(activations),
+                deactivations=frozenset(deactivations),
+                active_edges=net.num_active_edges,
+                activated_edges=net.num_activated_edges,
+                connected=connected,
+                barrier_epoch=self.barrier_epoch,
             )
+            for obs in observers:
+                obs.on_round(record)
 
         # Commit the pooled snapshots in one bulk pass (including a
         # halting program's final state, which neighbors may still read).
@@ -758,7 +762,7 @@ class DenseRunner(SynchronousRunner):
     # external dynamics (see repro.dynamics and DESIGN.md note 8)
     # ------------------------------------------------------------------
 
-    def _apply_adversary(self, adversary, recorder, trace) -> None:
+    def _apply_adversary(self, adversary, recorder, observers) -> None:
         """Apply one adversary strike at the current round boundary.
 
         Mirrors the reference backend exactly; publics are already fresh
@@ -833,13 +837,13 @@ class DenseRunner(SynchronousRunner):
                 f"adversary disconnected the network at the round-{net.round} boundary"
             )
 
-        if trace is not None:
-            trace.append_perturbation(
-                PerturbationRecord(
-                    round=net.round,
-                    drops=frozenset(dropped),
-                    adds=frozenset(added),
-                    crashes=tuple(crashed),
-                    joins=tuple(joins),
-                )
+        if observers is not None:
+            record = PerturbationRecord(
+                round=net.round,
+                drops=frozenset(dropped),
+                adds=frozenset(added),
+                crashes=tuple(crashed),
+                joins=tuple(joins),
             )
+            for obs in observers:
+                obs.on_perturbation(record)

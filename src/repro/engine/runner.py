@@ -24,6 +24,7 @@ from ..errors import ConfigurationError, ExecutionError, ProtocolViolation
 from .actions import RoundActions
 from .metrics import Metrics, MetricsRecorder
 from .network import ConnectivityTracker, Network
+from .observers import TraceObserver
 from .program import Context, NodeProgram
 from .trace import PerturbationRecord, RoundRecord, Trace
 
@@ -85,7 +86,16 @@ class SynchronousRunner:
         Raise :class:`ProtocolViolation` on illegal actions instead of
         dropping them (DESIGN.md, "Strict vs. non-strict legality").
     collect_trace:
-        Record a per-round :class:`Trace`.
+        Record a per-round :class:`Trace` (implemented as one
+        :class:`~repro.engine.observers.TraceObserver` on the observer
+        pipeline).
+    observers:
+        Extra :class:`~repro.engine.observers.RoundObserver` hooks fed
+        by the round loop — streaming JSONL sinks, online conformance
+        checkers (:mod:`repro.conformance`), activity summarizers.
+        Observers see the identical records on every backend; with no
+        observers and no trace the round loop skips record construction
+        entirely (the hot path is untouched).
     adversary:
         An external perturbation schedule (see ``repro.dynamics``):
         its per-round :class:`Perturbation` batches are applied at round
@@ -128,6 +138,7 @@ class SynchronousRunner:
         max_rounds: int | None = None,
         adversary=None,
         backend: str | None = None,
+        observers=(),
     ) -> None:
         if backend is not None and resolve_backend(backend) != self.backend_name:
             raise ConfigurationError(
@@ -145,6 +156,7 @@ class SynchronousRunner:
         self.check_connectivity = check_connectivity
         self.strict = strict
         self.collect_trace = collect_trace
+        self.observers = tuple(observers)
         self.max_rounds = max_rounds
         self.adversary = adversary
         self.program_factory = program_factory
@@ -199,7 +211,13 @@ class SynchronousRunner:
         net = self.network
         programs = self.programs
         limit = self.max_rounds if self.max_rounds is not None else _default_round_limit(net.n)
-        trace = Trace() if self.collect_trace else None
+        # The in-memory trace is just one observer on the record stream.
+        pipeline = list(self.observers)
+        trace_observer = None
+        if self.collect_trace:
+            trace_observer = TraceObserver()
+            pipeline.append(trace_observer)
+        observers = tuple(pipeline) if pipeline else None
         adversary = adversary if adversary is not None else self.adversary
         # Joins/crashes change n mid-run; contexts only re-read it then.
         self._n_dynamic = adversary is not None
@@ -229,6 +247,10 @@ class SynchronousRunner:
                 del self._live[uid]
         self._post_setup()
 
+        if observers is not None:
+            for obs in observers:
+                obs.on_run_start(net)
+
         recorder = MetricsRecorder(net)
         while self._live:
             if net.round > limit:
@@ -236,29 +258,36 @@ class SynchronousRunner:
                     f"round limit {limit} exceeded; "
                     f"{len(self._live)} nodes still running"
                 )
-            self._run_round(recorder, trace)
+            self._run_round(recorder, observers)
             if adversary is not None and self._live:
-                self._apply_adversary(adversary, recorder, trace)
+                self._apply_adversary(adversary, recorder, observers)
 
         recorder.metrics.rounds = net.round - 1
+        if observers is not None:
+            for obs in observers:
+                obs.on_run_end(recorder.metrics)
         return RunResult(
             network=net,
             programs=programs,
             metrics=recorder.metrics,
-            trace=trace,
+            trace=trace_observer.trace if trace_observer is not None else None,
             rounds=net.round - 1,
             barrier_epochs=self.barrier_epoch,
         )
 
     # ------------------------------------------------------------------
 
-    def _run_round(self, recorder: MetricsRecorder, trace: Trace | None) -> None:
+    def _run_round(self, recorder: MetricsRecorder, observers: tuple | None) -> None:
         net = self.network
         programs = self.programs
         live = self._live
         publics = self._publics
         actions = self._actions
         actions.clear()
+
+        if observers is not None:
+            for obs in observers:
+                obs.on_round_start(net.round)
 
         # Re-snapshot the public records that went stale last round; every
         # other node's snapshot (notably every halted node's) is current.
@@ -305,18 +334,18 @@ class SynchronousRunner:
         else:
             connected = True
 
-        if trace is not None:
-            trace.append(
-                RoundRecord(
-                    round=round_no,
-                    activations=frozenset(activations),
-                    deactivations=frozenset(deactivations),
-                    active_edges=net.num_active_edges,
-                    activated_edges=net.num_activated_edges,
-                    connected=connected,
-                    barrier_epoch=self.barrier_epoch,
-                )
+        if observers is not None:
+            record = RoundRecord(
+                round=round_no,
+                activations=frozenset(activations),
+                deactivations=frozenset(deactivations),
+                active_edges=net.num_active_edges,
+                activated_edges=net.num_activated_edges,
+                connected=connected,
+                barrier_epoch=self.barrier_epoch,
             )
+            for obs in observers:
+                obs.on_round(record)
 
         # Mark stale publics (including a halting program's final state,
         # which neighbors may still read in later rounds) and retire the
@@ -349,7 +378,7 @@ class SynchronousRunner:
     # external dynamics (see repro.dynamics and DESIGN.md note 8)
     # ------------------------------------------------------------------
 
-    def _apply_adversary(self, adversary, recorder: MetricsRecorder, trace: Trace | None) -> None:
+    def _apply_adversary(self, adversary, recorder: MetricsRecorder, observers: tuple | None) -> None:
         """Apply one adversary strike at the current round boundary.
 
         The perturbation becomes visible at the beginning of the next
@@ -432,16 +461,16 @@ class SynchronousRunner:
                 f"adversary disconnected the network at the round-{net.round} boundary"
             )
 
-        if trace is not None:
-            trace.append_perturbation(
-                PerturbationRecord(
-                    round=net.round,
-                    drops=frozenset(dropped),
-                    adds=frozenset(added),
-                    crashes=tuple(crashed),
-                    joins=tuple(joins),
-                )
+        if observers is not None:
+            record = PerturbationRecord(
+                round=net.round,
+                drops=frozenset(dropped),
+                adds=frozenset(added),
+                crashes=tuple(crashed),
+                joins=tuple(joins),
             )
+            for obs in observers:
+                obs.on_perturbation(record)
 
 
 def _default_round_limit(n: int) -> int:

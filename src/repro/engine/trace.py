@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from ..errors import TraceError
+
 
 @dataclass(frozen=True)
 class RoundRecord:
@@ -105,7 +107,14 @@ class Trace:
 
     @classmethod
     def from_jsonl(cls, source) -> "Trace":
-        """Rebuild a trace from a path or a JSONL string."""
+        """Rebuild a trace from a path or a JSONL string.
+
+        Any corrupted, truncated, or wrong-shaped line raises
+        :class:`~repro.errors.TraceError` naming the offending line —
+        never a bare ``KeyError``/``json.JSONDecodeError``.  A prefix of
+        valid lines (e.g. a stream cut at a line boundary) parses and
+        round-trips cleanly: prefixes of valid JSONL are valid JSONL.
+        """
         import os
 
         if isinstance(source, os.PathLike) or (
@@ -114,64 +123,129 @@ class Trace:
             and "\n" not in source
             and not source.lstrip().startswith("{")
         ):
-            with open(source) as fh:
-                text = fh.read()
+            try:
+                with open(source) as fh:
+                    text = fh.read()
+            except OSError as exc:
+                raise TraceError(f"cannot read trace file {source!r}: {exc}") from None
         else:
             text = source
         trace = cls()
-        for line in str(text).splitlines():
+        for lineno, line in enumerate(str(text).splitlines(), start=1):
             line = line.strip()
             if not line:
                 continue
-            d = json.loads(line)
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"trace line {lineno}: not valid JSON ({exc.msg}): {line[:120]!r}"
+                ) from None
+            if not isinstance(d, dict):
+                raise TraceError(
+                    f"trace line {lineno}: expected a JSON object, "
+                    f"got {type(d).__name__}"
+                )
             kind = d.pop("type", "round")
-            if kind == "perturbation":
-                trace.append_perturbation(
-                    PerturbationRecord(
-                        round=d["round"],
-                        drops=frozenset(_edges(d["drops"])),
-                        adds=frozenset(_edges(d["adds"])),
-                        crashes=tuple(d["crashes"]),
-                        joins=tuple((uid, tuple(att)) for uid, att in d["joins"]),
+            try:
+                if kind == "perturbation":
+                    trace.append_perturbation(
+                        PerturbationRecord(
+                            round=_int_field(d, "round"),
+                            drops=frozenset(_edge_field(d, "drops")),
+                            adds=frozenset(_edge_field(d, "adds")),
+                            crashes=tuple(_list_field(d, "crashes")),
+                            joins=tuple(
+                                (uid, tuple(att))
+                                for uid, att in _list_field(d, "joins")
+                            ),
+                        )
                     )
-                )
-            else:
-                trace.append(
-                    RoundRecord(
-                        round=d["round"],
-                        activations=frozenset(_edges(d["activations"])),
-                        deactivations=frozenset(_edges(d["deactivations"])),
-                        active_edges=d["active_edges"],
-                        activated_edges=d["activated_edges"],
-                        connected=d["connected"],
-                        barrier_epoch=d.get("barrier_epoch", 0),
+                elif kind == "round":
+                    trace.append(
+                        RoundRecord(
+                            round=_int_field(d, "round"),
+                            activations=frozenset(_edge_field(d, "activations")),
+                            deactivations=frozenset(_edge_field(d, "deactivations")),
+                            active_edges=_int_field(d, "active_edges"),
+                            activated_edges=_int_field(d, "activated_edges"),
+                            connected=_bool_field(d, "connected"),
+                            barrier_epoch=(
+                                _int_field(d, "barrier_epoch")
+                                if "barrier_epoch" in d
+                                else 0
+                            ),
+                        )
                     )
-                )
+                else:
+                    raise TraceError(f"unknown record type {kind!r}")
+            except TraceError as exc:
+                raise TraceError(f"trace line {lineno}: {exc}") from None
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceError(
+                    f"trace line {lineno}: malformed {kind} record "
+                    f"({type(exc).__name__}: {exc})"
+                ) from None
         return trace
 
 
-def iter_traces(result) -> list:
-    """``(label, Trace)`` pairs of any result shape, in execution order.
+def iter_traces(result):
+    """Yield ``(label, Trace)`` pairs of any result shape, lazily and in
+    execution order.
 
     Single runs yield one pair labelled ``None``; self-healing results
     yield one pair per episode; composition pipelines yield one pair per
     stage.  Pairs whose trace is ``None`` (no ``collect_trace``) are
-    included, so callers see the result's structure either way.
+    included, so callers see the result's structure either way — which
+    also makes the labels usable on their own: zip them against
+    :class:`~repro.engine.observers.ActivityObserver` segments to stream
+    activity without ever materializing a trace.
     """
     episodes = getattr(result, "episodes", None)
     if episodes is not None:
-        return [(f"episode {i}", ep.trace) for i, ep in enumerate(episodes)]
+        for i, ep in enumerate(episodes):
+            yield f"episode {i}", ep.trace
+        return
     stages = getattr(result, "stages", None)
     if stages is not None:
-        return [(name, res.trace) for name, res in stages]
-    return [(None, result.trace)]
+        for name, res in stages:
+            yield name, res.trace
+        return
+    yield None, result.trace
 
 
 def _edge_list(edges) -> list:
     return sorted([list(e) for e in edges])
 
 
-def _edges(pairs) -> list:
+def _int_field(d: dict, name: str) -> int:
+    value = d[name]
+    if type(value) is not int:
+        raise TraceError(f"field {name!r} must be an integer, got {value!r}")
+    return value
+
+
+def _bool_field(d: dict, name: str) -> bool:
+    value = d[name]
+    if type(value) is not bool:
+        raise TraceError(f"field {name!r} must be a boolean, got {value!r}")
+    return value
+
+
+def _list_field(d: dict, name: str) -> list:
+    value = d[name]
+    if not isinstance(value, list):
+        raise TraceError(f"field {name!r} must be a list, got {value!r}")
+    return value
+
+
+def _edge_field(d: dict, name: str) -> list:
+    pairs = _list_field(d, name)
+    for pair in pairs:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise TraceError(
+                f"field {name!r} must hold 2-element edges, got {pair!r}"
+            )
     return [tuple(e) for e in pairs]
 
 

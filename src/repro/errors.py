@@ -20,3 +20,20 @@ class ConfigurationError(ReproError):
 
 class ExecutionError(ReproError):
     """The simulation could not make progress (e.g. round limit hit)."""
+
+
+class TraceError(ReproError):
+    """A serialized trace could not be parsed.
+
+    Raised (with the offending line number) for corrupted, truncated, or
+    wrong-shaped JSONL input; callers never see a bare ``KeyError`` or
+    ``json.JSONDecodeError`` from trace loading.
+    """
+
+
+class InvariantViolation(ReproError):
+    """An online conformance check failed (see :mod:`repro.conformance`).
+
+    Only raised in enforcing contexts (``strict=True`` checking); sweep
+    verdicts report failures as row columns instead of raising.
+    """

@@ -48,6 +48,7 @@ RESERVED_PARAM_NAMES = frozenset({
     "seeds", "trace", "check_connectivity", "list", "command", "backend",
     "adversary", "churn_rate", "adversary_seed", "adversary_policy",
     "parallel", "workers", "resume_dir", "json_path", "csv_path", "quiet",
+    "check", "trace_out", "tier",
 })
 
 
@@ -76,6 +77,13 @@ class ScenarioSpec:
     scenario accepts (``None`` = every registered family); ``version``
     participates in the sweep cache key, so bumping it invalidates every
     cached row the scenario ever produced.
+
+    ``invariants`` declares the scenario's paper-bound conformance
+    checks by name (resolved by :func:`repro.conformance.make_checkers`)
+    — the online checkers ``repro run/sweep --check`` attaches as round
+    observers and whose verdicts land in sweep rows.  Names are
+    validated lazily at checker construction so registering a spec never
+    imports the conformance layer.
     """
 
     name: str
@@ -88,6 +96,7 @@ class ScenarioSpec:
     supports_adversary: bool | None = None
     supports_trace: bool = True
     params: tuple = ()
+    invariants: tuple = ()
     version: int = 1
 
     def __post_init__(self) -> None:
@@ -158,69 +167,89 @@ def _ensure_defaults() -> None:
     strikes = ScenarioParam(
         "strikes", int, 3, "number of adversary strikes on the quiescent target"
     )
+    # Invariant profiles (names resolved by repro.conformance): the
+    # structural safety checks plus the paper's round/edge envelopes.
+    safety = ("connectivity", "temporal-legality")
+    log_linear = (*safety, "rounds:log", "edges:linear", "activations:nlogn")
+    polylog_linear = (*safety, "rounds:polylog", "edges:linear", "activations:nlogn")
+    # No edge-watermark budget for Theta(n^2) scenarios: any quadratic
+    # watermark bound is vacuous (see repro.conformance.BUDGETS).
+    quadratic = (*safety, "rounds:log", "activations:quadratic")
     defaults = [
         ScenarioSpec(
             "star", run_graph_to_star, "distributed",
             description="GraphToStar: edge-optimal Depth-1 Tree",
             paper="Thm 3.8",
+            invariants=log_linear,
         ),
         ScenarioSpec(
             "wreath", run_graph_to_wreath, "distributed",
             description="GraphToWreath: constant degree, O(log^2 n) time",
             paper="Thm 4.2",
+            invariants=polylog_linear,
         ),
         ScenarioSpec(
             "thin-wreath", run_graph_to_thin_wreath, "distributed",
             description="GraphToThinWreath: polylog degree, o(log^2 n) time",
             paper="Thm 5.1",
+            invariants=polylog_linear,
         ),
         ScenarioSpec(
             "clique", run_clique_formation, "distributed",
             description="clique baseline: fast but Theta(n^2) edges",
             paper="Sec 1.2",
+            invariants=quadratic,
         ),
         ScenarioSpec(
             "euler", run_euler_ring, "centralized",
             description="centralized Euler-ring strategy",
             paper="Thm 6.3",
+            invariants=log_linear,
         ),
         ScenarioSpec(
             "cut-in-half", run_cut_in_half, "centralized",
             description="centralized CutInHalf (path graphs only)",
             paper="Thm D.5",
             families=("line", "line_adversarial"),
+            invariants=log_linear,
         ),
         ScenarioSpec(
             "star-heal", run_star_self_healing, "self-healing",
             description="GraphToStar with restart-on-damage under churn",
             paper="DESIGN.md note 8",
             params=(strikes,),
+            invariants=log_linear,
         ),
         ScenarioSpec(
             "wreath-heal", run_wreath_self_healing, "self-healing",
             description="GraphToWreath with restart-on-damage under churn",
             paper="DESIGN.md note 8",
             params=(strikes,),
+            invariants=polylog_linear,
         ),
         ScenarioSpec(
             "star+flood", run_star_then_flood, "composition",
             description="GraphToStar, then token dissemination on the star",
             paper="Sec 1.3",
+            invariants=log_linear,
         ),
         ScenarioSpec(
             "wreath+flood", run_wreath_then_flood, "composition",
             description="GraphToWreath, then token dissemination on the tree",
             paper="Sec 1.3",
+            invariants=polylog_linear,
         ),
         ScenarioSpec(
             "flood-baseline", run_flood_baseline, "composition",
             description="token dissemination directly on G_s (pays diameter)",
             paper="Sec 1.3",
+            invariants=safety,
         ),
         ScenarioSpec(
             "star+leader", run_star_then_leader, "composition",
             description="GraphToStar, then max-UID leader election",
             paper="Sec 1.3",
+            invariants=log_linear,
         ),
     ]
     for spec in defaults:

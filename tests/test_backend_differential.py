@@ -11,11 +11,14 @@ Two tiers: a small deterministic corpus that runs in CI, and a larger
 seeds, and adversary schedules.
 """
 
+import io
+
 import pytest
 
 from repro.dynamics import AdversarySpec, ChurnSchedule, ScriptedAdversary, make_adversary
 from repro.engine import (
     BACKENDS,
+    JsonlSink,
     Metrics,
     NodeProgram,
     SynchronousRunner,
@@ -35,21 +38,30 @@ def _episode_traces(result):
 
 
 def _run_cell(algorithm, family, n, seed, adversary_spec, backend):
+    """Run one cell with both trace forms: the in-memory Trace and a
+    streaming JsonlSink on the same observer pipeline."""
     runner = get_algorithm(algorithm)
     graph = families.make(family, n, seed=seed)
-    kwargs = {"collect_trace": True, "backend": backend}
+    sink = JsonlSink(io.StringIO())
+    kwargs = {"collect_trace": True, "backend": backend, "observers": [sink]}
     if adversary_spec is not None:
         kwargs["adversary"] = make_adversary(adversary_spec)
-    return runner(graph, **kwargs)
+    result = runner(graph, **kwargs)
+    return result, sink._fh.getvalue()
 
 
 def _assert_cell_equivalent(algorithm, family, n, seed=0, adversary_spec=None):
-    ref = _run_cell(algorithm, family, n, seed, adversary_spec, "reference")
-    dense = _run_cell(algorithm, family, n, seed, adversary_spec, "dense")
+    ref, ref_streamed = _run_cell(algorithm, family, n, seed, adversary_spec, "reference")
+    dense, dense_streamed = _run_cell(algorithm, family, n, seed, adversary_spec, "dense")
     label = f"{algorithm}/{family}/n={n}/seed={seed}/adv={adversary_spec}"
     assert _episode_traces(dense) == _episode_traces(ref), f"trace diverged: {label}"
     assert dense.metrics == ref.metrics, f"metrics diverged: {label}"
     assert dense.rounds == ref.rounds, f"rounds diverged: {label}"
+    # The streaming sink is the oracle's third form: byte-identical to
+    # the materialized traces, on both backends.
+    materialized = "".join(payload for _, payload in _episode_traces(ref))
+    assert ref_streamed == materialized, f"reference sink diverged: {label}"
+    assert dense_streamed == materialized, f"dense sink diverged: {label}"
     recovery = getattr(ref, "recovery", None)
     if recovery is not None:
         assert dense.recovery.as_dict() == recovery.as_dict(), f"recovery diverged: {label}"
@@ -78,6 +90,22 @@ CI_CORPUS = [
     ("wreath+flood", "ring", 16, 0, None),
     ("flood-baseline", "gnp", 25, 0, None),
     ("star+leader", "random_tree", 21, 3, None),
+    # seeded general-graph cells: the observer path on gnp/grid/regular3
+    # with non-canonical UID permutations, not just the UID-structured
+    # workloads (seed != 0 re-permutes the UIDs deterministically)
+    ("star", "gnp", 25, 7, None),
+    ("star", "grid", 25, 11, None),
+    ("star", "regular3", 20, 5, None),
+    ("wreath", "gnp", 20, 9, None),
+    ("wreath", "grid", 16, 4, None),
+    ("wreath", "regular3", 16, 3, None),
+    ("thin-wreath", "gnp", 18, 2, None),
+    ("thin-wreath", "grid", 16, 6, None),
+    ("thin-wreath", "regular3", 14, 8, None),
+    ("clique", "gnp", 16, 13, None),
+    ("clique", "regular3", 12, 2, None),
+    ("star+flood", "grid", 25, 5, None),
+    ("flood-baseline", "regular3", 16, 7, None),
 ]
 
 
@@ -225,7 +253,10 @@ SLOW_ADVERSARIES = [
 
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", [0, 1, 5])
-@pytest.mark.parametrize("family", ["ring", "line", "gnp", "random_tree", "grid", "caterpillar"])
+@pytest.mark.parametrize(
+    "family",
+    ["ring", "line", "gnp", "random_tree", "grid", "caterpillar", "regular3"],
+)
 @pytest.mark.parametrize("n", [17, 33, 48])
 def test_slow_star_grid(family, n, seed):
     _assert_cell_equivalent("star", family, n, seed)
@@ -233,10 +264,18 @@ def test_slow_star_grid(family, n, seed):
 
 @pytest.mark.slow
 @pytest.mark.parametrize("algorithm", ["wreath", "thin-wreath", "clique"])
-@pytest.mark.parametrize("family", ["ring", "line", "random_tree"])
+@pytest.mark.parametrize("family", ["ring", "line", "random_tree", "gnp", "regular3"])
 @pytest.mark.parametrize("n", [16, 28])
 def test_slow_committee_grid(algorithm, family, n):
     _assert_cell_equivalent(algorithm, family, n)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", ["wreath", "thin-wreath"])
+@pytest.mark.parametrize("family", ["gnp", "grid", "regular3"])
+@pytest.mark.parametrize("seed", [1, 4])
+def test_slow_seeded_general_graph_grid(algorithm, family, seed):
+    _assert_cell_equivalent(algorithm, family, 24, seed)
 
 
 @pytest.mark.slow

@@ -280,3 +280,120 @@ class TestBackendFlag:
     def test_parser_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--backend", "gpu"])
+
+
+class TestCheckFlag:
+    def test_run_check_green(self, capsys):
+        assert main(["-a", "star", "-f", "ring", "--n", "24", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants" in out and "connectivity" in out and "ok" in out
+
+    def test_run_check_red_exits_nonzero(self, capsys):
+        from repro.registry import ScenarioSpec, get_scenario, register_scenario, unregister_scenario
+
+        register_scenario(ScenarioSpec(
+            "busted-clique", get_scenario("clique").runner, "distributed",
+            description="clique under a linear edge budget",
+            invariants=("edges:linear",),
+        ))
+        try:
+            assert main(["-a", "busted-clique", "-f", "ring", "--n", "128", "--check"]) == 1
+            assert "FAIL" in capsys.readouterr().out
+        finally:
+            unregister_scenario("busted-clique")
+
+    def test_sweep_check_stamps_columns_and_exits_zero(self, capsys):
+        assert main(["sweep", "-a", "star,euler", "-f", "ring", "--sizes", "16",
+                     "--check", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "inv_connectivity" in out and "inv_temporal-legality" in out
+
+    def test_sweep_check_red_exits_nonzero(self, capsys):
+        from repro.registry import ScenarioSpec, get_scenario, register_scenario, unregister_scenario
+
+        register_scenario(ScenarioSpec(
+            "busted-clique", get_scenario("clique").runner, "distributed",
+            description="clique under a linear edge budget",
+            invariants=("edges:linear",),
+        ))
+        try:
+            assert main(["sweep", "-a", "busted-clique", "-f", "ring",
+                         "--sizes", "128", "--check", "--quiet"]) == 1
+            assert "invariant violated" in capsys.readouterr().err
+        finally:
+            unregister_scenario("busted-clique")
+
+    def test_check_before_subcommand_is_honored(self, capsys):
+        assert main(["--check", "sweep", "-a", "star", "-f", "ring",
+                     "--sizes", "16", "--quiet"]) == 0
+        assert "inv_connectivity" in capsys.readouterr().out
+
+
+class TestTraceOut:
+    def test_trace_out_streams_jsonl(self, capsys, tmp_path):
+        from repro.engine import Trace
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["-a", "star", "-f", "ring", "--n", "16",
+                     "--trace-out", str(path)]) == 0
+        trace = Trace.from_jsonl(path)
+        assert len(trace) > 0
+        assert trace.records[-1].round == len(trace)
+
+    def test_trace_out_matches_collect_trace(self, capsys, tmp_path):
+        from repro.core import run_graph_to_star
+        from repro.graphs import families
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["-a", "star", "-f", "ring", "--n", "16",
+                     "--trace-out", str(path)]) == 0
+        res = run_graph_to_star(families.make("ring", 16), collect_trace=True)
+        assert path.read_text() == res.trace.to_jsonl()
+
+    def test_trace_out_multi_stage_concatenates(self, capsys, tmp_path):
+        path = tmp_path / "stages.jsonl"
+        assert main(["-a", "star+flood", "-f", "line", "--n", "16",
+                     "--trace-out", str(path)]) == 0
+        payload = path.read_text()
+        # Two stages, each restarting at round 1.
+        assert payload.count('"round": 1, "type": "round"') == 2
+        from repro.engine import Trace
+
+        Trace.from_jsonl(path)  # parses cleanly
+
+    def test_trace_out_works_for_centralized(self, capsys, tmp_path):
+        path = tmp_path / "euler.jsonl"
+        assert main(["-a", "euler", "-f", "ring", "--n", "24",
+                     "--trace-out", str(path)]) == 0
+        assert path.read_text().startswith('{"')
+
+    def test_trace_prints_without_materializing(self, capsys):
+        # --trace and --trace-out together still stream (no collect_trace).
+        assert main(["-a", "star", "--n", "12", "--trace"]) == 0
+        assert "activity" in capsys.readouterr().out
+
+
+class TestSweepTier:
+    def test_large_tier_grid_is_registry_derived(self, capsys):
+        # Override sizes to keep the test fast; the tier supplies the
+        # algorithm list (subquadratic transforms) and families.
+        assert main(["sweep", "--tier", "large", "--sizes", "24", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "star" in out and "wreath" in out and "thin-wreath" in out
+        assert "clique" not in out  # quadratic budget: excluded at scale
+        assert "gnp" in out and "ring" in out
+
+    def test_explicit_flags_override_tier(self, capsys):
+        assert main(["sweep", "--tier", "large", "-a", "star", "-f", "ring",
+                     "--sizes", "16", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cells" in out
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--tier", "galactic"])
+
+    def test_default_sweep_grid_unchanged(self, capsys):
+        assert main(["sweep", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "star" in out and "line" in out

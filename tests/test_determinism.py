@@ -32,15 +32,38 @@ WORKLOADS = {
 }
 
 
-def _trace_bytes(algorithm: str, backend: str | None) -> list:
-    family, n = WORKLOADS[algorithm]
+#: Seeded general-graph cells: the observer/trace path must stay
+#: deterministic on gnp/grid/regular3 under non-canonical UID
+#: permutations (seed != 0), not just on the UID-structured workloads.
+SEEDED_CELLS = [
+    ("star", "gnp", 25, 7),
+    ("star", "grid", 25, 11),
+    ("star", "regular3", 20, 5),
+    ("wreath", "gnp", 20, 9),
+    ("wreath", "grid", 16, 4),
+    ("wreath", "regular3", 16, 3),
+    ("thin-wreath", "gnp", 18, 2),
+    ("thin-wreath", "grid", 16, 6),
+    ("thin-wreath", "regular3", 14, 8),
+    ("clique", "regular3", 12, 2),
+    ("star+flood", "grid", 25, 5),
+    ("flood-baseline", "regular3", 16, 7),
+]
+
+
+def _cell_trace_bytes(algorithm, family, n, seed, backend) -> list:
     spec = get_scenario(algorithm)
-    graph = families.make(family, n)
+    graph = families.make(family, n, seed=seed)
     kwargs = {"collect_trace": True}
     if backend is not None:
         kwargs["backend"] = backend
     result = spec.runner(graph, **kwargs)
     return [(label, trace.to_jsonl()) for label, trace in iter_traces(result)]
+
+
+def _trace_bytes(algorithm: str, backend: str | None) -> list:
+    family, n = WORKLOADS[algorithm]
+    return _cell_trace_bytes(algorithm, family, n, 0, backend)
 
 
 def test_every_registered_scenario_has_a_workload():
@@ -58,4 +81,16 @@ def test_repeat_run_is_byte_identical(algorithm, backend):
         backend = None
     first = _trace_bytes(algorithm, backend)
     second = _trace_bytes(algorithm, backend)
+    assert first == second
+
+
+@pytest.mark.parametrize(
+    "algorithm,family,n,seed",
+    SEEDED_CELLS,
+    ids=[f"{a}-{f}-n{n}-s{s}" for a, f, n, s in SEEDED_CELLS],
+)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_seeded_general_graph_cell_is_byte_identical(algorithm, family, n, seed, backend):
+    first = _cell_trace_bytes(algorithm, family, n, seed, backend)
+    second = _cell_trace_bytes(algorithm, family, n, seed, backend)
     assert first == second

@@ -1,0 +1,271 @@
+"""The streaming observer pipeline: hook contract, ordering, sinks.
+
+Covers the tentpole guarantees of the observer refactor:
+
+* observers see **every committed round exactly once, in execution
+  order** — including under adversary perturbations — on both backends;
+* the streaming :class:`JsonlSink` output is **byte-identical** to
+  ``Trace.to_jsonl`` for every registered scenario (the cross-backend
+  differential suite additionally asserts it per corpus cell);
+* ``collect_trace`` is itself an observer, so traced and untraced runs
+  execute identically;
+* :class:`ActivityObserver` summarizes per-segment activity in bounded
+  memory, which is what ``repro --trace`` prints from.
+"""
+
+import io
+
+import pytest
+
+from repro.dynamics import ChurnSchedule, ScriptedAdversary
+from repro.engine import (
+    BACKENDS,
+    ActivityObserver,
+    JsonlSink,
+    NodeProgram,
+    RoundObserver,
+    Trace,
+    TraceObserver,
+    iter_traces,
+    run_program,
+)
+from repro.graphs import families
+from repro.registry import get_scenario, scenarios
+
+#: scenario -> (family, n): the full-registry observer corpus.
+WORKLOADS = {
+    "star": ("ring", 20),
+    "wreath": ("ring", 16),
+    "thin-wreath": ("ring", 16),
+    "clique": ("ring", 12),
+    "euler": ("ring", 20),
+    "cut-in-half": ("line", 17),
+    "star-heal": ("ring", 16),
+    "wreath-heal": ("ring", 14),
+    "star+flood": ("line", 20),
+    "wreath+flood": ("ring", 16),
+    "flood-baseline": ("gnp", 25),
+    "star+leader": ("random_tree", 21),
+}
+
+
+class SequenceObserver(RoundObserver):
+    """Asserts the hook contract while recording the event stream.
+
+    Per segment: rounds are 1, 2, 3, ... with a matching ``round-start``
+    immediately before each commit, and every perturbation carries the
+    round number of the *next* record (it is applied at the boundary
+    after the previous round).
+    """
+
+    def __init__(self):
+        self.events = []
+        self.segments = 0
+        self.finished = 0
+        self._started = None
+        self._last_round = None
+
+    def on_run_start(self, network):
+        self.segments += 1
+        self._last_round = 0
+        self.events.append(("start", self.segments))
+
+    def on_round_start(self, round_no):
+        assert self._started is None, "round-start without a committed round"
+        self._started = round_no
+
+    def on_round(self, record):
+        assert self._started == record.round, "round-start/commit mismatch"
+        self._started = None
+        assert record.round == self._last_round + 1, (
+            f"round {record.round} after {self._last_round}: skipped or repeated"
+        )
+        self._last_round = record.round
+        self.events.append(("round", self.segments, record.round))
+
+    def on_perturbation(self, record):
+        assert record.round == self._last_round + 1, (
+            "perturbation must be visible at the beginning of the next round"
+        )
+        self.events.append(("pert", self.segments, record.round))
+
+    def on_run_end(self, metrics):
+        self.finished += 1
+        assert metrics.rounds == self._last_round
+
+
+def _run_scenario(name, backend, observers, collect_trace=True):
+    family, n = WORKLOADS[name]
+    spec = get_scenario(name)
+    kwargs = {"collect_trace": collect_trace, "observers": observers}
+    if spec.supports_backend and backend is not None:
+        kwargs["backend"] = backend
+    return spec.runner(families.make(family, n), **kwargs)
+
+
+def test_registry_is_fully_covered():
+    assert set(WORKLOADS) == {spec.name for spec in scenarios()}, (
+        "a scenario was (de)registered; keep the observer corpus in sync"
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_every_round_seen_once_in_order(name, backend):
+    seq = SequenceObserver()
+    result = _run_scenario(name, backend, [seq])
+    # One segment per iter_traces label, every one finished.
+    labels = [label for label, _ in iter_traces(result)]
+    assert seq.segments == len(labels)
+    assert seq.finished == seq.segments
+    # The observed rounds are exactly the traced rounds, in order.
+    observed = [
+        (seg, rnd) for kind, seg, *rest in seq.events if kind == "round"
+        for rnd in rest
+    ]
+    traced = [
+        (i + 1, rec.round)
+        for i, (_, trace) in enumerate(iter_traces(result))
+        for rec in trace.records
+    ]
+    assert observed == traced
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_jsonl_sink_byte_identical_to_trace(name, backend):
+    buf = io.StringIO()
+    result = _run_scenario(name, backend, [JsonlSink(buf)])
+    expected = "".join(trace.to_jsonl() for _, trace in iter_traces(result))
+    assert buf.getvalue() == expected
+
+
+class _Chatty(NodeProgram):
+    def transition(self, ctx, inbox):
+        if ctx.round >= 25:
+            self.halt()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ordering_and_sink_under_perturbations(backend):
+    """Churn (crashes/joins/drops) must not break the hook contract or
+    the sink's byte-identity."""
+    seq = SequenceObserver()
+    buf = io.StringIO()
+    res = run_program(
+        families.make("ring", 16),
+        _Chatty,
+        collect_trace=True,
+        observers=[seq, JsonlSink(buf)],
+        adversary=ChurnSchedule(rate=0.4, seed=11, policy="reroute", start=3, period=4),
+        backend=backend,
+    )
+    assert res.trace.perturbations, "the schedule never fired; weak test"
+    assert buf.getvalue() == res.trace.to_jsonl()
+    perts = [e for e in seq.events if e[0] == "pert"]
+    assert len(perts) == len(res.trace.perturbations)
+
+
+def test_scripted_adversary_perturbations_in_stream():
+    seq = SequenceObserver()
+    res = run_program(
+        families.make("ring", 10),
+        _Chatty,
+        collect_trace=True,
+        observers=[seq],
+        adversary=ScriptedAdversary({3: {"adds": [(0, 5)]}, 6: {"crashes": [2]}}),
+    )
+    assert [e[2] for e in seq.events if e[0] == "pert"] == [
+        p.round for p in res.trace.perturbations
+    ]
+
+
+def test_trace_observer_is_collect_trace():
+    """A TraceObserver attached manually materializes the identical
+    trace collect_trace would."""
+    obs = TraceObserver()
+    res = get_scenario("star").runner(
+        families.make("ring", 16), collect_trace=True, observers=[obs]
+    )
+    assert obs.trace.records == res.trace.records
+    assert obs.trace.to_jsonl() == res.trace.to_jsonl()
+
+
+def test_untraced_run_result_is_unchanged():
+    """Observers never leak into the result: no collect_trace, no trace."""
+    res = get_scenario("star").runner(
+        families.make("ring", 12), observers=[SequenceObserver()]
+    )
+    assert res.trace is None
+
+
+class TestJsonlSink:
+    def test_path_sink_writes_and_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        res = get_scenario("star").runner(
+            families.make("ring", 12), collect_trace=True, observers=[sink]
+        )
+        sink.close()
+        assert path.read_text() == res.trace.to_jsonl()
+        assert sink.lines == len(res.trace.records)
+
+    def test_sink_file_parses_back(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            res = get_scenario("wreath").runner(
+                families.make("ring", 12), collect_trace=True, observers=[sink]
+            )
+        back = Trace.from_jsonl(path)
+        assert back.records == res.trace.records
+
+    def test_borrowed_handle_not_closed(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.close()
+        buf.write("still open")  # would raise on a closed buffer
+
+    def test_multi_segment_file_is_concatenation(self, tmp_path):
+        path = tmp_path / "stages.jsonl"
+        with JsonlSink(path) as sink:
+            res = get_scenario("star+flood").runner(
+                families.make("line", 16), collect_trace=True, observers=[sink]
+            )
+        expected = "".join(t.to_jsonl() for _, t in iter_traces(res))
+        assert path.read_text() == expected
+
+
+class TestActivityObserver:
+    def test_segments_match_labels_and_are_bounded(self):
+        activity = ActivityObserver(limit=5)
+        res = get_scenario("star+flood").runner(
+            families.make("line", 24), observers=[activity]
+        )
+        labels = [label for label, _ in iter_traces(res)]
+        assert len(activity.segments) == len(labels)
+        assert all(len(seg) <= 5 for seg in activity.segments)
+
+    def test_summaries_match_trace(self):
+        activity = ActivityObserver(limit=50)
+        res = get_scenario("star").runner(
+            families.make("ring", 16), collect_trace=True, observers=[activity]
+        )
+        expected = [
+            {
+                "round": r.round,
+                "activations": len(r.activations),
+                "deactivations": len(r.deactivations),
+                "active_edges": r.active_edges,
+            }
+            for r in res.trace
+            if r.activations or r.deactivations
+        ][:50]
+        assert activity.segments == [expected]
+
+
+def test_iter_traces_is_lazy():
+    """iter_traces streams pairs instead of materializing a list."""
+    res = get_scenario("star").runner(families.make("ring", 12))
+    gen = iter_traces(res)
+    assert iter(gen) is gen  # a generator, not a list
+    assert next(gen) == (None, None)

@@ -337,9 +337,9 @@ class TestResumableSweeps:
         executed = []
         real = sweep_mod._execute_cell
 
-        def counting(cell, spec, kwargs):
+        def counting(cell, spec, kwargs, check=False):
             executed.append(cell)
-            return real(cell, spec, kwargs)
+            return real(cell, spec, kwargs, check)
 
         monkeypatch.setattr(sweep_mod, "_execute_cell", counting)
         plan.run(resume_dir=tmp_path / "cache")
@@ -474,9 +474,9 @@ class TestResumableSweeps:
         executed = []
         real = sweep_mod._execute_cell
 
-        def counting(cell, spec, kwargs):
+        def counting(cell, spec, kwargs, check=False):
             executed.append(cell)
-            return real(cell, spec, kwargs)
+            return real(cell, spec, kwargs, check)
 
         monkeypatch.setattr(sweep_mod, "_execute_cell", counting)
         changed = SweepPlan.grid(
@@ -484,3 +484,72 @@ class TestResumableSweeps:
         )
         changed.run(resume_dir=tmp_path / "cache")
         assert len(executed) == 1  # cache miss: kwargs are part of the key
+
+
+class TestCheckedSweeps:
+    """Invariant verdicts in sweep rows (the --check path)."""
+
+    def test_check_stamps_verdict_columns(self):
+        plan = SweepPlan.grid(["star"], ["ring"], [16], check=True)
+        rows = plan.run().rows
+        from repro.registry import get_scenario
+
+        expected = {f"inv_{name}" for name in get_scenario("star").invariants}
+        assert expected <= set(rows[0].extra)
+        assert all(rows[0].extra[col] == "ok" for col in expected)
+
+    def test_unchecked_rows_carry_no_verdicts(self):
+        rows = SweepPlan.grid(["star"], ["ring"], [16]).run().rows
+        assert not any(k.startswith("inv_") for k in rows[0].extra)
+
+    def test_parallel_checked_sweep_matches_serial(self):
+        plan = SweepPlan.grid(["star"], ["ring", "line"], [16], check=True)
+        serial = plan.run().to_json()
+        parallel = plan.run(parallel=True, max_workers=2).to_json()
+        assert parallel == serial
+
+    def test_check_flag_is_part_of_cache_key(self):
+        from repro.registry import get_scenario
+
+        spec = get_scenario("star")
+        cell = SweepCell("star", "ring", 16)
+        assert cell_key(spec, cell, {}, check=False) != cell_key(spec, cell, {}, check=True)
+
+    def test_checked_resume_is_byte_identical(self, tmp_path):
+        plan = SweepPlan.grid(["star"], ["ring"], [16, 24], check=True)
+        fresh = plan.run(resume_dir=tmp_path / "cache").to_json()
+        victim = next((tmp_path / "cache" / "cells").glob("*.json"))
+        victim.unlink()
+        resumed = plan.run(resume_dir=tmp_path / "cache").to_json()
+        assert resumed == fresh
+        assert '"inv_connectivity": "ok"' in resumed
+
+    def test_checked_and_unchecked_caches_do_not_collide(self, tmp_path):
+        checked = SweepPlan.grid(["star"], ["ring"], [16], check=True)
+        unchecked = SweepPlan.grid(["star"], ["ring"], [16])
+        checked.run(resume_dir=tmp_path / "cache")
+        rows = unchecked.run(resume_dir=tmp_path / "cache").rows
+        # The unchecked run must not be served the checked run's row.
+        assert not any(k.startswith("inv_") for k in rows[0].extra)
+
+    def test_red_cell_reported_not_raised(self):
+        """A failing invariant lands in the row as a FAIL verdict; the
+        sweep itself completes (enforcement is the CLI's exit code)."""
+        from repro.registry import ScenarioSpec, register_scenario, unregister_scenario
+
+        spec = ScenarioSpec(
+            "busted-clique", get_algorithm("clique"), "distributed",
+            description="clique under a linear edge budget (must go red)",
+            invariants=("edges:linear", "connectivity"),
+        )
+        register_scenario(spec)
+        try:
+            result = SweepPlan.grid(["busted-clique"], ["ring"], [128], check=True).run()
+            failed = result.failed_invariants()
+            assert [(f[0].algorithm, f[1]) for f in failed] == [
+                ("busted-clique", "inv_edges:linear")
+            ]
+            assert failed[0][2].startswith("FAIL")
+            assert result.rows[0].extra["inv_connectivity"] == "ok"
+        finally:
+            unregister_scenario("busted-clique")

@@ -1,11 +1,22 @@
-"""Round-trip tests for Trace JSONL serialization."""
+"""Round-trip and robustness tests for Trace JSONL serialization."""
+
+import json
 
 import networkx as nx
+import pytest
 
 from repro import graphs
 from repro.core import run_graph_to_star, run_graph_to_wreath
 from repro.dynamics import ChurnSchedule
 from repro.engine import NodeProgram, Trace, run_program
+from repro.errors import TraceError
+
+try:
+    from hypothesis import given, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
 
 
 class Idle(NodeProgram):
@@ -58,3 +69,132 @@ class TestRoundTrip:
         assert a == b
         for line in a.strip().splitlines():
             assert line.startswith('{"')
+
+
+# ----------------------------------------------------------------------
+# robustness: corrupted input raises TraceError, never a bare crash
+# ----------------------------------------------------------------------
+
+
+def _valid_payload() -> str:
+    """A real perturbed trace: round lines *and* perturbation lines."""
+    adv = ChurnSchedule(0.4, seed=6, policy="reroute", start=4, period=4)
+
+    class _Idle(NodeProgram):
+        def transition(self, ctx, inbox):
+            if ctx.round >= 15:
+                self.halt()
+
+    res = run_program(nx.cycle_graph(10), _Idle, adversary=adv, collect_trace=True)
+    assert res.trace.perturbations
+    return res.trace.to_jsonl()
+
+
+VALID_PAYLOAD = _valid_payload()
+VALID_LINES = VALID_PAYLOAD.splitlines()
+
+
+def _parse_expecting_trace_error_or_success(payload: str):
+    """The contract under corruption: a Trace comes back, or TraceError —
+    never KeyError/JSONDecodeError/TypeError/ValueError."""
+    try:
+        return Trace.from_jsonl(payload)
+    except TraceError:
+        return None
+
+
+class TestMalformedInput:
+    def test_garbage_line_raises_trace_error_with_line_number(self):
+        payload = VALID_LINES[0] + "\n<<not json>>\n" + VALID_LINES[1] + "\n"
+        with pytest.raises(TraceError, match="line 2"):
+            Trace.from_jsonl(payload)
+
+    def test_truncated_final_line_raises_trace_error(self):
+        payload = VALID_PAYLOAD[: len(VALID_PAYLOAD) - len(VALID_LINES[-1]) // 2]
+        with pytest.raises(TraceError):
+            Trace.from_jsonl(payload)
+
+    def test_non_object_json_line(self):
+        with pytest.raises(TraceError, match="expected a JSON object"):
+            Trace.from_jsonl('[1, 2, 3]\n')
+
+    def test_unknown_record_type(self):
+        with pytest.raises(TraceError, match="unknown record type"):
+            Trace.from_jsonl('{"type": "wormhole", "round": 1}\n')
+
+    def test_missing_field_is_trace_error_not_keyerror(self):
+        with pytest.raises(TraceError, match="malformed round record"):
+            Trace.from_jsonl('{"type": "round", "round": 1}\n')
+
+    def test_wrong_field_type_is_trace_error(self):
+        line = json.loads(VALID_LINES[0])
+        line["active_edges"] = "ten"
+        with pytest.raises(TraceError, match="must be an integer"):
+            Trace.from_jsonl(json.dumps(line) + "\n")
+
+    def test_malformed_edge_shape(self):
+        line = json.loads(VALID_LINES[0])
+        line["activations"] = [[1, 2, 3]]
+        with pytest.raises(TraceError, match="2-element edges"):
+            Trace.from_jsonl(json.dumps(line) + "\n")
+
+    def test_unreadable_path_is_trace_error(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read trace file"):
+            Trace.from_jsonl(tmp_path / "nope.jsonl")
+
+    def test_valid_prefix_roundtrips(self):
+        for k in (0, 1, len(VALID_LINES) // 2, len(VALID_LINES)):
+            prefix = "".join(line + "\n" for line in VALID_LINES[:k])
+            back = Trace.from_jsonl(prefix)
+            assert back.to_jsonl() == prefix
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestFuzzFromJsonl:
+    """Hypothesis fuzz: no corruption of a real payload may escape the
+    TraceError contract, and line-boundary prefixes always round-trip."""
+
+    @given(
+        pos=st.integers(min_value=0, max_value=len(VALID_PAYLOAD) - 1),
+        char=st.characters(blacklist_categories=("Cs",)),
+    )
+    def test_single_character_corruption(self, pos, char):
+        corrupted = VALID_PAYLOAD[:pos] + char + VALID_PAYLOAD[pos + 1 :]
+        trace = _parse_expecting_trace_error_or_success(corrupted)
+        if trace is not None and corrupted == VALID_PAYLOAD:
+            assert trace.to_jsonl() == VALID_PAYLOAD
+
+    @given(cut=st.integers(min_value=0, max_value=len(VALID_PAYLOAD)))
+    def test_truncation_at_any_byte(self, cut):
+        truncated = VALID_PAYLOAD[:cut]
+        trace = _parse_expecting_trace_error_or_success(truncated)
+        if trace is not None:
+            # Only prefixes ending at a line boundary parse; those
+            # round-trip to exactly the bytes that were kept.
+            kept = trace.to_jsonl()
+            assert truncated.rstrip("\n") in ("", kept.rstrip("\n"))
+
+    @given(
+        index=st.integers(min_value=0, max_value=len(VALID_LINES)),
+        garbage=st.text(
+            alphabet=st.characters(blacklist_characters="\n\r", blacklist_categories=("Cs",)),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_interleaved_garbage_line(self, index, garbage):
+        lines = list(VALID_LINES)
+        lines.insert(index, garbage)
+        payload = "".join(line + "\n" for line in lines)
+        try:
+            Trace.from_jsonl(payload)
+        except TraceError:
+            return
+        # Reaching here means the garbage parsed: only whitespace (a
+        # skipped blank line) can do that.
+        assert garbage.strip() == ""
+
+    @given(cut=st.integers(min_value=0, max_value=len(VALID_LINES)))
+    def test_line_boundary_prefix_roundtrips(self, cut):
+        prefix = "".join(line + "\n" for line in VALID_LINES[:cut])
+        assert Trace.from_jsonl(prefix).to_jsonl() == prefix
