@@ -4,15 +4,28 @@ Each benchmark file reproduces one experiment from DESIGN.md's index;
 rows accumulate in a session-wide registry and are printed as markdown
 tables at the end of the session (this is the output EXPERIMENTS.md
 records).
+
+Engine benchmarks additionally record machine-readable rows into
+``BENCH_engine.json`` at the repo root (the ``bench_engine`` fixture):
+one ``{scenario, n, backend, wall_ms, peak_rss_kb}`` row per measured
+configuration, merge-updated by key so re-runs refresh rather than
+duplicate.  CI archives the file; perf gates read their anchors from
+constants, not from it, so a stale file can never relax a gate.
 """
 
 import collections
+import json
+import resource
 
 import pytest
 
 from repro.analysis import format_table
 
 _ROWS = collections.defaultdict(list)
+_BENCH_ROWS = {}
+
+_BENCH_FILE = "BENCH_engine.json"
+_BENCH_SCHEMA = "repro-bench-engine/1"
 
 
 @pytest.fixture
@@ -25,7 +38,52 @@ def experiment_rows():
     return add
 
 
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in KiB.
+
+    ``ru_maxrss`` is kilobytes on Linux (this repo's CI target); the
+    value is a high-water mark, so rows recorded late in a session
+    include earlier tests' peaks — gates that need a tight bound run
+    their workload in a fresh interpreter instead.
+    """
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@pytest.fixture
+def bench_engine():
+    """Record one BENCH_engine.json row, keyed by (scenario, n, backend)."""
+
+    def add(scenario: str, n: int, backend: str, wall_ms: float, rss_kb: int = None) -> None:
+        key = (scenario, int(n), backend)
+        _BENCH_ROWS[key] = {
+            "scenario": scenario,
+            "n": int(n),
+            "backend": backend,
+            "wall_ms": round(float(wall_ms), 1),
+            "peak_rss_kb": peak_rss_kb() if rss_kb is None else int(rss_kb),
+        }
+
+    return add
+
+
+def _write_bench_file(rootpath) -> None:
+    path = rootpath / _BENCH_FILE
+    merged = dict(_BENCH_ROWS)
+    try:
+        previous = json.loads(path.read_text())
+        for row in previous.get("rows", []):
+            key = (row["scenario"], int(row["n"]), row["backend"])
+            merged.setdefault(key, row)
+    except (OSError, ValueError, KeyError, TypeError):
+        pass  # absent or unreadable file: start fresh
+    rows = [merged[k] for k in sorted(merged)]
+    path.write_text(json.dumps({"schema": _BENCH_SCHEMA, "rows": rows}, indent=2) + "\n")
+
+
 def pytest_sessionfinish(session, exitstatus):
+    if _BENCH_ROWS:
+        _write_bench_file(session.config.rootpath)
+        print(f"\nBENCH rows written to {_BENCH_FILE}: {len(_BENCH_ROWS)} updated")
     if not _ROWS:
         return
     out = ["", "=" * 70, "EXPERIMENT TABLES (paper-shape output)", "=" * 70]
@@ -33,6 +91,30 @@ def pytest_sessionfinish(session, exitstatus):
         out.append(f"\n--- {exp} ---")
         out.append(format_table(_ROWS[exp]))
     print("\n".join(out))
+
+
+def pytest_addoption(parser):
+    # tests/conftest.py registers the same option; both directories are
+    # initial testpaths, so whichever loads second must tolerate the
+    # duplicate — and a benchmarks-only invocation still needs it.
+    try:
+        parser.addoption(
+            "--runslow",
+            action="store_true",
+            default=False,
+            help="run tests marked slow (large differential-fuzzer tier)",
+        )
+    except ValueError:
+        pass
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow", default=False):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

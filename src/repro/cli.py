@@ -48,6 +48,29 @@ SWEEP_TIERS: dict = {
         "families": ["ring", "gnp"],
         "sizes": [2048, 4096, 8192],
     },
+    # The ``xlarge`` tier (PR 6) runs the log-round bulk-capable
+    # scenarios at n = 10^5 on the array-native backend.  Two exclusions
+    # are inherent, not backend limits: the wreath family's round count
+    # grows ~2n (ring splices advance one stepping stone per round),
+    # exceeding the engine round limit long before 10^5; and the
+    # flood-style scenarios (token dissemination *and* max-UID leader
+    # election, which floods all n UIDs) are Theta(n^2) information by
+    # definition — ``quadratic_state`` in the registry — so they fit no
+    # memory budget at this scale.  A tier may preset "backend"; an
+    # explicit --backend flag overrides it like any other field.
+    "xlarge": {
+        "algorithms": lambda: [
+            spec.name
+            for spec in scenarios()
+            if spec.kind in ("distributed", "composition")
+            and spec.supports_bulk
+            and "rounds:log" in spec.invariants
+            and not spec.quadratic_state
+        ],
+        "families": ["ring"],
+        "sizes": [100_000],
+        "backend": "bulk",
+    },
 }
 
 #: Backward-compatible map ``name -> (description, runner)``, derived
@@ -190,8 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--tier", choices=sorted(SWEEP_TIERS), default=None,
         help="named sweep grid preset; 'large' runs the subquadratic "
              "transforms on general families at n=2048..8192 (streaming "
-             "observers keep memory bounded) — explicit -a/-f/--sizes "
-             "flags override the preset field-by-field",
+             "observers keep memory bounded), 'xlarge' runs the "
+             "bulk-capable transforms at n=100000 on the bulk backend — "
+             "explicit -a/-f/--sizes/--backend flags override the preset "
+             "field-by-field",
     )
     sweep.add_argument(
         "--seeds", type=_csv_ints, default=[0],
@@ -257,6 +282,8 @@ def _resolve_tier(args) -> tuple[list, list, list]:
     sizes = args.sizes
     if sizes is None:
         sizes = list(tier["sizes"]) if tier else [64]
+    if tier and args.backend is None and "backend" in tier:
+        args.backend = tier["backend"]
     return algorithms, families_, sizes
 
 

@@ -32,14 +32,96 @@ from __future__ import annotations
 
 import networkx as nx
 
-from ..engine import NodeProgram, RunResult, SynchronousRunner
+from ..engine import NodeProgram, PhaseKernel, RunResult, SynchronousRunner
 from .modes import Mode
 
 PHASE_LEN = 5
 
 
+class StarPhaseKernel(PhaseKernel):
+    """Phase-level bulk semantics of GraphToStar (scheduling kernel).
+
+    The per-phase decision logic that is uniform across nodes lives here
+    as pure functions; :class:`GraphToStarProgram` methods are thin
+    wrappers over them.  The wake discipline exploits the 5-round phase
+    structure: a quiescent follower only runs on report rounds (``r2``),
+    while any wake condition — or any change to the node's own public
+    record — holds it awake for two full phases so every phase position
+    sees the new state exactly as an always-awake node would.
+    """
+
+    state_fields = (
+        ("wake", "int64[n]", "next unconditional wake round"),
+        ("stale", "bool[n]", "unacknowledged external wake condition"),
+    )
+
+    #: Rounds a node stays awake after a wake condition: two full phases
+    #: cover every phase position r0..r4 at least once from any offset.
+    HOT_WINDOW = 2 * PHASE_LEN
+
+    @staticmethod
+    def phase_of(round_no: int) -> tuple:
+        """``(phase, position)`` of a 1-based round in the 5-round phase."""
+        return divmod(round_no - 1, PHASE_LEN)
+
+    @staticmethod
+    def select_candidate(uid, entries) -> tuple:
+        """The r2 selection reduction: ``(selected_cid, gateway, via)``.
+
+        Pure function of the leader's sensed+reported foreign adjacency
+        ``entries`` (``(cid, mode, y, x)`` tuples).  Returns
+        ``(None, None, None)`` when no higher committee is selectable.
+        Second result: whether any foreign committee exists at all.
+        """
+        candidates: dict = {}
+        foreign_exists = False
+        for cid, mode, y, x in entries:
+            foreign_exists = True
+            if cid > uid and mode != Mode.PULLING:
+                best = candidates.get(cid)
+                # Prefer a gateway at the leader itself, then max uids.
+                key = (x == uid, x, y)
+                if best is None or key > best[0]:
+                    candidates[cid] = (key, y, x)
+        if not candidates:
+            return (None, None, None), foreign_exists
+        target_cid = max(candidates)
+        _, y, x = candidates[target_cid]
+        return (target_cid, y, x), foreign_exists
+
+    @staticmethod
+    def next_wake(is_leader, mode, has_foreign, hot_until, next_round):
+        """The family's wake discipline, as a pure function of the
+        node's scheduling state.  Leaders and transient modes run every
+        round; hot nodes run until their window closes; quiescent
+        boundary followers run only on report rounds (``r2``); committee
+        interiors (no foreign neighbors, hence empty reports) park until
+        a wake condition."""
+        if is_leader or mode in (Mode.MERGING, Mode.TERMINATION):
+            return next_round
+        pos = (next_round - 1) % PHASE_LEN
+        if next_round <= hot_until:
+            # Hot: run every follower-relevant position (r0/r1/r2).  r3 is
+            # leader-only and a follower's r4 only acts in TERMINATION
+            # (handled above), so those positions are provable no-ops.
+            return next_round if pos <= 2 else next_round + (PHASE_LEN - pos)
+        if not has_foreign:
+            return None
+        # Quiescent boundary: only the r2 report round.
+        return next_round if pos == 2 else next_round + ((2 - pos) % PHASE_LEN)
+
+
 class GraphToStarProgram(NodeProgram):
     """One node of GraphToStar."""
+
+    phase_kernel = StarPhaseKernel()
+
+    #: Parked rounds are no-ops: r0 re-copies an unchanged leader record,
+    #: r1 re-senses unchanged publics, r3 is leader-only, r4 only acts in
+    #: TERMINATION (never parked).  Every input that could change a
+    #: decision — a neighbor record rebind, an adjacency change, the
+    #: node's own public state — opens the kernel's hot window.
+    bulk_sparse = True
 
     def __init__(self, uid) -> None:
         super().__init__(uid)
@@ -62,6 +144,8 @@ class GraphToStarProgram(NodeProgram):
         self._defer_merge = False
         self._foreign_exists = False
         self._public_key = None
+        self._bulk_key = None  # last public key acknowledged by the scheduler
+        self._hot_until = 0
         self._refresh_public()
 
     # ------------------------------------------------------------------
@@ -96,7 +180,10 @@ class GraphToStarProgram(NodeProgram):
     # ------------------------------------------------------------------
 
     def compose(self, ctx) -> dict | None:
-        if (ctx.round - 1) % PHASE_LEN == 2 and not self.is_leader:
+        # An empty report would extend the leader's candidate list with
+        # nothing: skipping it changes no decision on any backend (and
+        # lets committee-interior nodes park under the bulk backend).
+        if (ctx.round - 1) % PHASE_LEN == 2 and not self.is_leader and self._foreign:
             cid = self.cid
             if cid in ctx.neighbors:
                 leader_mode = ctx.public_of(cid)["mode"]
@@ -220,18 +307,11 @@ class GraphToStarProgram(NodeProgram):
     def _leader_act(self, ctx, phase: int) -> None:
         """r2: selection decision + first hop; merging transfer; pulling jump."""
         if self.mode == Mode.SELECTION:
-            candidates: dict = {}
-            for cid, mode, y, x in self._foreign + self._reports:
-                self._foreign_exists = True
-                if cid > self.uid and mode != Mode.PULLING:
-                    best = candidates.get(cid)
-                    # Prefer a gateway at the leader itself, then max uids.
-                    key = (x == self.uid, x, y)
-                    if best is None or key > best[0]:
-                        candidates[cid] = (key, y, x)
-            if candidates:
-                target_cid = max(candidates)
-                _, y, x = candidates[target_cid]
+            (target_cid, y, _x), foreign_exists = StarPhaseKernel.select_candidate(
+                self.uid, self._foreign + self._reports
+            )
+            self._foreign_exists = self._foreign_exists or foreign_exists
+            if target_cid is not None:
                 self._selected = target_cid
                 self._act1_edge = y
                 if y not in ctx.neighbors:
@@ -303,6 +383,18 @@ class GraphToStarProgram(NodeProgram):
         elif self.mode == Mode.TERMINATION:
             self.status = "leader"
             self.halt()
+
+    def bulk_next_wake(self, next_round: int, stale: bool):
+        # A change to the node's own public record is a wake condition
+        # too: private scratch (the sensed ``_foreign`` list) depends on
+        # the node's own cid, which can change without any external
+        # trigger (a dissolving leader becomes a follower in place).
+        if stale or self._public_key != self._bulk_key:
+            self._bulk_key = self._public_key
+            self._hot_until = next_round + StarPhaseKernel.HOT_WINDOW
+        return StarPhaseKernel.next_wake(
+            self.is_leader, self.mode, bool(self._foreign), self._hot_until, next_round
+        )
 
     def _was_selected(self, ctx) -> bool:
         return self._has_children(ctx)

@@ -119,9 +119,18 @@ class GraphToWreathProgram(NodeProgram):
 
         self.segment = 0
         self._seg_round = 0
+        self._seg_start_round = None
         self._outbox: list = []
         self._halt_at = None
         self._orig_neighbors: set = set()
+        self._public: dict | None = None
+        self._seg_handlers = tuple(
+            (
+                getattr(self, f"_seg_{seg.lower()}"),
+                getattr(self, f"_done_{seg.lower()}"),
+            )
+            for seg in SEGMENTS
+        )
         self._reset_phase_state()
         self._refresh_public()
 
@@ -178,13 +187,26 @@ class GraphToWreathProgram(NodeProgram):
         self._got_newcid = False
 
     def _refresh_public(self) -> None:
+        emb = self._embedded
+        l2t = emb._public if emb is not None else None
+        pub = self._public
+        if (
+            pub is not None
+            and pub["l2t"] is l2t
+            and pub["cid"] == self.cid
+            and pub["is_leader"] == self.is_leader
+            and pub["ring_next"] == self.ring_next
+            and pub["ring_prev"] == self.ring_prev
+            and pub["tree_parent"] == self.tree_parent
+        ):
+            return
         self._public = {
             "cid": self.cid,
             "is_leader": self.is_leader,
             "ring_next": self.ring_next,
             "ring_prev": self.ring_prev,
             "tree_parent": self.tree_parent,
-            "l2t": self._embedded.public() if self._embedded else None,
+            "l2t": l2t,
         }
 
     def public(self) -> dict:
@@ -193,6 +215,7 @@ class GraphToWreathProgram(NodeProgram):
     def on_barrier(self, epoch: int) -> None:
         super().on_barrier(epoch)
         self._seg_round = 0
+        self._seg_start_round = None
         self.segment += 1
         if self.segment >= len(SEGMENTS):
             self.segment = 0
@@ -223,20 +246,59 @@ class GraphToWreathProgram(NodeProgram):
     # ------------------------------------------------------------------
 
     def transition(self, ctx, inbox) -> None:
-        self._seg_round += 1
+        # The segment round is derived from the segment's first round
+        # rather than counted, so a program that sits out a round (bulk
+        # backend) stays in step.  The anchor is well-defined: the engine
+        # runs every program in the round after a barrier (and in round
+        # 1), so all members of a segment anchor to the same round.
+        if self._seg_start_round is None:
+            self._seg_start_round = ctx.round
+        self._seg_round = ctx.round - self._seg_start_round + 1
         messages = [(src, m) for src, ms in inbox.items() for m in ms]
-        seg = SEGMENTS[self.segment]
-        getattr(self, f"_seg_{seg.lower()}")(ctx, messages)
+        step, done = self._seg_handlers[self.segment]
+        step(ctx, messages)
         if self._halt_at is not None and ctx.round >= self._halt_at:
             self._refresh_public()
             self.halt()
             return
-        self.barrier_ready = not self._outbox and self._segment_done(ctx)
+        self.barrier_ready = not self._outbox and done(ctx)
         self._refresh_public()
 
     def _segment_done(self, ctx) -> bool:
-        seg = SEGMENTS[self.segment]
-        return getattr(self, f"_done_{seg.lower()}")(ctx)
+        return self._seg_handlers[self.segment][1](ctx)
+
+    #: Parked rounds are no-ops: a node with an empty outbox past a
+    #: segment's opening beats only reacts to messages and to neighbor
+    #: record changes, which are tracked wake conditions; the segment
+    #: round is derived from the round number, not counted.
+    bulk_sparse = True
+
+    def bulk_next_wake(self, next_round: int, stale: bool):
+        if self._outbox or self._halt_at is not None:
+            return next_round
+        start = self._seg_start_round
+        if start is None or next_round - start < 3:
+            # Segment openings run on a fixed early-round schedule:
+            # sensing and gating in rounds 1-2, the splice commit and the
+            # NEWCID child scan by round 3.
+            return next_round
+        seg = self.segment
+        if seg == 5:  # SPLICE_A: one stepping stone per round
+            if self._conn_target is not None and (
+                not self._stones or self._splice_step < len(self._stones)
+            ):
+                return next_round
+        elif seg == 6:  # SPLICE_B: ping, settle, commit
+            if not self._committed:
+                return next_round
+        elif seg == 7:  # REBUILD: the embedded program sets the pace
+            emb = self._embedded
+            if self._participating and emb is not None:
+                return emb.bulk_next_wake(next_round, stale)
+        # Parked.  Reports, decisions, slot chains, splice pings and the
+        # new committee id all arrive as messages; rebuild progress at a
+        # terminated member arrives as a neighbor record change.
+        return None
 
     # ------------------------------------------------------------------
     # REPORT

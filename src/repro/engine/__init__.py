@@ -6,7 +6,7 @@ from .dense import DenseConnectivityTracker, DenseContext, DenseNetwork, DenseRu
 from .metrics import Metrics, MetricsRecorder, aggregate_metrics
 from .network import ConnectivityTracker, Network
 from .observers import ActivityObserver, JsonlSink, RoundObserver, TraceObserver
-from .program import Context, NodeProgram
+from .program import Context, NodeProgram, PhaseKernel
 from .runner import (
     BACKENDS,
     RunResult,
@@ -16,7 +16,19 @@ from .runner import (
 )
 from .trace import PerturbationRecord, RoundRecord, Trace, iter_traces
 
+
+def __getattr__(name):
+    # BulkRunner is imported lazily so that a missing numpy only fails
+    # when the bulk backend is actually requested (with a clear message).
+    if name == "BulkRunner":
+        from .bulk import BulkRunner
+
+        return BulkRunner
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "BulkRunner",
     "ActivityObserver",
     "BACKENDS",
     "CentralizedResult",
@@ -35,6 +47,7 @@ __all__ = [
     "Network",
     "NodeProgram",
     "PerturbationRecord",
+    "PhaseKernel",
     "RoundActions",
     "RoundRecord",
     "RunResult",

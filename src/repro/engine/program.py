@@ -175,3 +175,94 @@ class NodeProgram:
     def touch_public(self) -> None:
         """Mark the public record stale (manual dirty-tracking programs)."""
         self.public_dirty = True
+
+    # -- bulk-backend contract (phase kernels) ----------------------------
+
+    #: A :class:`PhaseKernel` describing this program family's phase-level
+    #: bulk semantics, or None.  Class attribute; shared by all instances.
+    phase_kernel = None
+
+    #: Whether instances obey the sparse-activity contract below, letting
+    #: the bulk backend skip their compose/transition on rounds where no
+    #: wake condition holds.  Leave False (the safe default) unless every
+    #: round skipped under the contract is provably a no-op.
+    bulk_sparse = False
+
+    def bulk_next_wake(self, next_round: int, stale: bool):
+        """Earliest future round this node must run again, or ``None``.
+
+        Called by the bulk backend immediately after each transition of a
+        :attr:`bulk_sparse` program.  ``next_round`` is the upcoming round
+        number; ``stale`` reports whether an external wake condition fired
+        since the previous call (a message arrived, a neighbor's public
+        record was re-bound, the node's adjacency changed, a barrier or
+        perturbation occurred).  Returning ``None`` parks the node until
+        the next external wake condition; returning a round number
+        schedules an unconditional wake no later than that round.
+
+        The sparse-activity contract (DESIGN.md, "Phase kernels & bulk
+        backend"): on any round where a program is parked, its
+        ``compose()`` would return a falsy value and its ``transition()``
+        would change no state, request no actions, and re-bind no public
+        record.  Programs may only depend on their own state, their inbox,
+        their neighbors' public records, and their own adjacency — never
+        on a non-neighbor or on a neighbor's adjacency list — so the wake
+        conditions above cover every input that could change a decision.
+        """
+        return next_round
+
+
+class PhaseKernel:
+    """Phase-level bulk semantics of one uniform program family (Layer 1).
+
+    The transformations' per-node logic is uniform within each phase —
+    the observation that lets nodes be modeled as identical finite-state
+    machines — so a program family can declare that logic once, at the
+    phase level, as pure functions over struct-of-arrays state instead of
+    per-object method calls.  The per-node :class:`NodeProgram` methods
+    stay the single source of truth for reference/dense execution and
+    become thin wrappers over the same pure functions, so behavior on the
+    existing backends is unchanged by construction.
+
+    Kernels come in two capability levels:
+
+    * **Scheduling kernels** (every kernel) expose the family's wake
+      discipline — pure functions deciding, from a node's extracted
+      state tuple, when it must next run.  The bulk backend keeps the
+      fleet-wide wake state as numpy arrays (:attr:`state_fields`) and
+      dispatches one vectorized due-filter per round, running only due
+      nodes through the wrapped per-node methods.
+    * **Array kernels** additionally implement
+      :meth:`init_state`/:meth:`step_round`/:meth:`finalize` and
+      :meth:`accepts`: whole rounds execute as single array dispatches
+      over struct-of-arrays program state with no per-node Python at
+      all.  The flooding kernel is the reference implementation.
+
+    Either way the observable execution — effective action sets, round
+    records, metrics, halting rounds — must be *identical* to the
+    per-node semantics; the cross-backend differential harness holds
+    kernels to byte-identical JSONL traces.
+    """
+
+    #: Struct-of-arrays layout of the kernel's bulk state:
+    #: ``(field_name, dtype_str, per_node_description)`` triples.
+    state_fields = ()
+
+    # -- array-kernel level (optional) ------------------------------------
+
+    def accepts(self, runner) -> bool:
+        """Whether the array path may drive this run (uniform population,
+        size/feature limits).  Scheduling-only kernels return False."""
+        return False
+
+    def init_state(self, runner):
+        """Gather per-node program state into struct-of-arrays form."""
+        raise NotImplementedError
+
+    def step_round(self, state, round_no: int) -> bool:
+        """Execute one full round as array ops; True when all halted."""
+        raise NotImplementedError
+
+    def finalize(self, state, runner) -> None:
+        """Scatter bulk state back into the per-node program objects."""
+        raise NotImplementedError

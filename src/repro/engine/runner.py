@@ -29,7 +29,7 @@ from .program import Context, NodeProgram
 from .trace import PerturbationRecord, RoundRecord, Trace
 
 #: The available engine backends (see DESIGN.md, "Engine backends").
-BACKENDS = ("reference", "dense")
+BACKENDS = ("reference", "dense", "bulk")
 
 
 def resolve_backend(backend: str | None = None) -> str:
@@ -119,10 +119,16 @@ class SynchronousRunner:
     _context_cls = Context
 
     def __new__(cls, *args, backend: str | None = None, **kwargs):
-        if cls is SynchronousRunner and resolve_backend(backend) == "dense":
-            from .dense import DenseRunner
+        if cls is SynchronousRunner:
+            name = resolve_backend(backend)
+            if name == "dense":
+                from .dense import DenseRunner
 
-            return object.__new__(DenseRunner)
+                return object.__new__(DenseRunner)
+            if name == "bulk":
+                from .bulk import BulkRunner
+
+                return object.__new__(BulkRunner)
         return object.__new__(cls)
 
     def __init__(

@@ -19,8 +19,28 @@ def max_degree(graph: nx.Graph) -> int:
 
 
 def diameter(graph: nx.Graph) -> int:
-    if graph.number_of_nodes() <= 1:
+    """Exact diameter, with fast paths for the shapes final graphs take.
+
+    ``nx.diameter`` runs a BFS from every node — ``O(n(n+m))``, hopeless
+    for the xlarge sweep tier's ``n = 1e5`` final stars.  Connected
+    trees admit the exact two-sweep answer and a single cycle is closed
+    form; everything else (initial graphs, mid-run snapshots) falls back
+    to the generic algorithm.
+    """
+    n = graph.number_of_nodes()
+    if n <= 1:
         return 0
+    m = graph.number_of_edges()
+    if m == n - 1:  # connected => tree: double BFS sweep is exact
+        start = next(iter(graph))
+        ecc = nx.single_source_shortest_path_length(graph, start)
+        if len(ecc) == n:
+            far = max(ecc, key=ecc.get)
+            return max(nx.single_source_shortest_path_length(graph, far).values())
+    elif m == n and all(d == 2 for _, d in graph.degree()):
+        # Connected 2-regular => a single cycle.
+        if nx.is_connected(graph):
+            return n // 2
     return nx.diameter(graph)
 
 

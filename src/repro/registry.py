@@ -95,6 +95,17 @@ class ScenarioSpec:
     supports_backend: bool | None = None
     supports_adversary: bool | None = None
     supports_trace: bool = True
+    #: The scenario's programs declare bulk-sparse semantics (PR 6), so
+    #: ``--backend bulk`` is profitable and differentially tested.  Off
+    #: by default: a scenario must opt in once its programs are covered
+    #: by the cross-backend corpus.
+    supports_bulk: bool = False
+    #: The scenario's information content is Θ(n²) — every node ends up
+    #: holding Θ(n) state (flood-style dissemination, including max-UID
+    #: leader election, which floods all n UIDs).  Such scenarios fit no
+    #: memory budget at n = 10⁵ on *any* backend, so size-tier presets
+    #: (e.g. ``xlarge``) must exclude them.
+    quadratic_state: bool = False
     params: tuple = ()
     invariants: tuple = ()
     version: int = 1
@@ -126,6 +137,8 @@ class ScenarioSpec:
         flags = []
         if self.supports_backend:
             flags.append("backend")
+        if self.supports_bulk:
+            flags.append("bulk")
         if self.supports_adversary:
             flags.append("adversary")
         if self.supports_trace:
@@ -180,18 +193,21 @@ def _ensure_defaults() -> None:
             "star", run_graph_to_star, "distributed",
             description="GraphToStar: edge-optimal Depth-1 Tree",
             paper="Thm 3.8",
+            supports_bulk=True,
             invariants=log_linear,
         ),
         ScenarioSpec(
             "wreath", run_graph_to_wreath, "distributed",
             description="GraphToWreath: constant degree, O(log^2 n) time",
             paper="Thm 4.2",
+            supports_bulk=True,
             invariants=polylog_linear,
         ),
         ScenarioSpec(
             "thin-wreath", run_graph_to_thin_wreath, "distributed",
             description="GraphToThinWreath: polylog degree, o(log^2 n) time",
             paper="Thm 5.1",
+            supports_bulk=True,
             invariants=polylog_linear,
         ),
         ScenarioSpec(
@@ -218,6 +234,7 @@ def _ensure_defaults() -> None:
             description="GraphToStar with restart-on-damage under churn",
             paper="DESIGN.md note 8",
             params=(strikes,),
+            supports_bulk=True,
             invariants=log_linear,
         ),
         ScenarioSpec(
@@ -225,30 +242,39 @@ def _ensure_defaults() -> None:
             description="GraphToWreath with restart-on-damage under churn",
             paper="DESIGN.md note 8",
             params=(strikes,),
+            supports_bulk=True,
             invariants=polylog_linear,
         ),
         ScenarioSpec(
             "star+flood", run_star_then_flood, "composition",
             description="GraphToStar, then token dissemination on the star",
             paper="Sec 1.3",
+            supports_bulk=True,
+            quadratic_state=True,
             invariants=log_linear,
         ),
         ScenarioSpec(
             "wreath+flood", run_wreath_then_flood, "composition",
             description="GraphToWreath, then token dissemination on the tree",
             paper="Sec 1.3",
+            supports_bulk=True,
+            quadratic_state=True,
             invariants=polylog_linear,
         ),
         ScenarioSpec(
             "flood-baseline", run_flood_baseline, "composition",
             description="token dissemination directly on G_s (pays diameter)",
             paper="Sec 1.3",
+            supports_bulk=True,
+            quadratic_state=True,
             invariants=safety,
         ),
         ScenarioSpec(
             "star+leader", run_star_then_leader, "composition",
             description="GraphToStar, then max-UID leader election",
             paper="Sec 1.3",
+            supports_bulk=True,
+            quadratic_state=True,
             invariants=log_linear,
         ),
     ]
@@ -362,6 +388,13 @@ def check_cell(
             f"--backend is not supported for {spec.name}: centralized "
             f"strategies have no per-node round loop to swap "
             f"(see DESIGN.md, 'Engine backends')"
+        )
+    if backend == "bulk" and not spec.supports_bulk:
+        capable = ", ".join(s.name for s in scenarios() if s.supports_bulk)
+        raise ConfigurationError(
+            f"--backend bulk is not supported for {spec.name}: its programs "
+            f"do not declare bulk-sparse semantics (see DESIGN.md, 'Phase "
+            f"kernels & bulk backend'); bulk-capable scenarios: {capable}"
         )
     if adversary is not None and not spec.supports_adversary:
         healers = ", ".join(scenario_names("self-healing"))

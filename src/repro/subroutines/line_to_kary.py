@@ -85,11 +85,55 @@ class AsyncLineToKaryTreeProgram(NodeProgram):
         self._children: list = []
         self._seen_epochs: set = set()
         self._arrivals: dict = {}
+        self._obs_pubs: dict | None = None
+        self._obs_self = None
+        self._public: dict | None = None
         self._refresh_public()
 
     # ------------------------------------------------------------------
 
+    #: Parked rounds are no-ops: an asleep node does nothing before its
+    #: wake round, and a terminated node with no pending edge only reacts
+    #: to neighbor-record changes (all tracked wake conditions).
+    bulk_sparse = True
+
+    def bulk_next_wake(self, next_round: int, stale: bool):
+        if not self.awake:
+            return max(next_round, self.wake_round)
+        if self.settled:
+            return None
+        if not self.terminated:
+            # A live jumper acts on the activate beat (and the deactivate
+            # beat while holding an outgrown edge); between beats only a
+            # neighbor-record change matters, and that is a tracked wake.
+            nxt = next_round + (1 - next_round) % 3
+            if self.pending is not None:
+                nxt = min(nxt, next_round + (-next_round) % 3)
+            return nxt
+        if self.pending is not None and self.pending_ladder_dead:
+            return next_round + (-next_round) % 3
+        # Terminated with nothing releasable: wait for neighbors.
+        return None
+
     def _refresh_public(self) -> None:
+        pub = self._public
+        if (
+            pub is not None
+            and pub["awake"] == self.awake
+            and pub["ea"] == self.ea
+            and pub["dea"] == self.dea
+            and pub["parent"] == self.parent
+            and pub["pending"] == self.pending
+            and pub["terminated"] == self.terminated
+            and pub["settled"] == self.settled
+            and pub["child_count"] == self.child_count
+            and pub["full_final"] == self.full_final
+            and pub["parent_obs"] == self.parent_obs
+            and pub["pending_obs"] == self.pending_obs
+            and pub["ladder_dead"] == self.ladder_dead
+            and pub["pending_ladder_dead"] == self.pending_ladder_dead
+        ):
+            return
         self._public = {
             "awake": self.awake,
             "ea": self.ea,
@@ -112,8 +156,26 @@ class AsyncLineToKaryTreeProgram(NodeProgram):
     # ------------------------------------------------------------------
 
     def _observe(self, ctx) -> dict:
-        """Refresh arrival bookkeeping and observations from fresh publics."""
-        publics = {v: ctx.neighbor_public(v) for v in ctx.neighbors}
+        """Refresh arrival bookkeeping and observations from fresh publics.
+
+        Neighbor records rebind only when their contents change, so when
+        every record is the *same object* as last time and none of my own
+        inputs moved, last round's observations are still exact and the
+        recomputation is skipped.
+        """
+        prev = self._obs_pubs
+        own = (self.parent, self.pending, self.ea, self.dea, self.settled)
+        publics = {}
+        unchanged = prev is not None and own == self._obs_self
+        for v in ctx.neighbors:
+            pub = ctx.neighbor_public(v)
+            publics[v] = pub
+            if unchanged and prev.get(v) is not pub:
+                unchanged = False
+        if unchanged and len(prev) == len(publics):
+            return prev
+        self._obs_pubs = publics
+        self._obs_self = own
 
         children = []
         arrivals: dict = {}

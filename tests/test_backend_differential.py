@@ -1,10 +1,14 @@
-"""Cross-backend differential fuzzer: dense vs reference, trace for trace.
+"""Cross-backend differential fuzzer: every backend vs reference, trace
+for trace.
 
-The dense backend's contract (DESIGN.md, "Engine backends") is strict:
-for every scenario and every adversary schedule it must produce a
-**byte-identical JSONL trace** and **equal Metrics** to the reference
-backend.  This suite samples (algorithm, family, n, seed, adversary)
-cells across the whole scenario registry and asserts exactly that.
+The dense and bulk backends' contract (DESIGN.md, "Engine backends" and
+"Phase kernels & bulk backend") is strict: for every scenario and every
+adversary schedule they must produce a **byte-identical JSONL trace**
+and **equal Metrics** to the reference backend.  This suite samples
+(algorithm, family, n, seed, adversary) cells across the whole scenario
+registry and asserts exactly that.  The bulk backend participates even
+for scenarios whose programs are not bulk-sparse (e.g. clique): its
+generic fallback must also be trace-identical.
 
 Two tiers: a small deterministic corpus that runs in CI, and a larger
 ``--runslow`` tier (``pytest --runslow``) that widens families, sizes,
@@ -31,6 +35,19 @@ from repro.graphs import families
 from repro.registry import get_algorithm, scenario_names, scenarios
 
 
+try:
+    import numpy  # noqa: F401
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is a core dependency
+    _HAS_NUMPY = False
+
+#: The backends differentially compared against "reference".
+COMPARISON_BACKENDS = [
+    b for b in BACKENDS if b != "reference" and (b != "bulk" or _HAS_NUMPY)
+]
+
+
 def _episode_traces(result):
     """The labelled JSONL trace(s) of any result shape (single run,
     self-healing episodes, or composition pipeline stages)."""
@@ -52,19 +69,20 @@ def _run_cell(algorithm, family, n, seed, adversary_spec, backend):
 
 def _assert_cell_equivalent(algorithm, family, n, seed=0, adversary_spec=None):
     ref, ref_streamed = _run_cell(algorithm, family, n, seed, adversary_spec, "reference")
-    dense, dense_streamed = _run_cell(algorithm, family, n, seed, adversary_spec, "dense")
-    label = f"{algorithm}/{family}/n={n}/seed={seed}/adv={adversary_spec}"
-    assert _episode_traces(dense) == _episode_traces(ref), f"trace diverged: {label}"
-    assert dense.metrics == ref.metrics, f"metrics diverged: {label}"
-    assert dense.rounds == ref.rounds, f"rounds diverged: {label}"
     # The streaming sink is the oracle's third form: byte-identical to
-    # the materialized traces, on both backends.
+    # the materialized traces, on every backend.
     materialized = "".join(payload for _, payload in _episode_traces(ref))
-    assert ref_streamed == materialized, f"reference sink diverged: {label}"
-    assert dense_streamed == materialized, f"dense sink diverged: {label}"
     recovery = getattr(ref, "recovery", None)
-    if recovery is not None:
-        assert dense.recovery.as_dict() == recovery.as_dict(), f"recovery diverged: {label}"
+    for backend in COMPARISON_BACKENDS:
+        alt, alt_streamed = _run_cell(algorithm, family, n, seed, adversary_spec, backend)
+        label = f"{algorithm}/{family}/n={n}/seed={seed}/adv={adversary_spec}/{backend}"
+        assert _episode_traces(alt) == _episode_traces(ref), f"trace diverged: {label}"
+        assert alt.metrics == ref.metrics, f"metrics diverged: {label}"
+        assert alt.rounds == ref.rounds, f"rounds diverged: {label}"
+        assert ref_streamed == materialized, f"reference sink diverged: {label}"
+        assert alt_streamed == materialized, f"{backend} sink diverged: {label}"
+        if recovery is not None:
+            assert alt.recovery.as_dict() == recovery.as_dict(), f"recovery diverged: {label}"
 
 
 # ----------------------------------------------------------------------
@@ -155,19 +173,21 @@ def test_runner_churn_equivalent(policy):
         rate=0.3, seed=11, policy=policy, start=3, period=4
     )
     results = {}
-    for backend in BACKENDS:
+    for backend in ["reference", *COMPARISON_BACKENDS]:
         graph = families.make("ring", 20)
         results[backend] = run_program(
             graph, _Chatterer, collect_trace=True,
             adversary=adversary_factory(), backend=backend,
         )
-    ref, dense = results["reference"], results["dense"]
-    assert dense.trace.to_jsonl() == ref.trace.to_jsonl()
-    assert dense.metrics == ref.metrics
-    assert set(dense.programs) == set(ref.programs)
-    assert {u: p.crashed for u, p in dense.programs.items()} == {
-        u: p.crashed for u, p in ref.programs.items()
-    }
+    ref = results["reference"]
+    for backend in COMPARISON_BACKENDS:
+        alt = results[backend]
+        assert alt.trace.to_jsonl() == ref.trace.to_jsonl(), backend
+        assert alt.metrics == ref.metrics, backend
+        assert set(alt.programs) == set(ref.programs), backend
+        assert {u: p.crashed for u, p in alt.programs.items()} == {
+            u: p.crashed for u, p in ref.programs.items()
+        }, backend
 
 
 def test_runner_scripted_adversary_equivalent():
@@ -177,18 +197,19 @@ def test_runner_scripted_adversary_equivalent():
         9: {"drops": [(0, 5)], "adds": [(1, 9)]},
     }
     traces = {}
-    for backend in BACKENDS:
+    for backend in ["reference", *COMPARISON_BACKENDS]:
         graph = families.make("ring", 12)
         res = run_program(
             graph, _Chatterer, collect_trace=True,
             adversary=ScriptedAdversary(dict(script)), backend=backend,
         )
         traces[backend] = (res.trace.to_jsonl(), res.metrics)
-    assert traces["dense"] == traces["reference"]
+    for backend in COMPARISON_BACKENDS:
+        assert traces[backend] == traces["reference"], backend
 
 
 def test_runner_connectivity_guard_equivalent():
-    for backend in BACKENDS:
+    for backend in ["reference", *COMPARISON_BACKENDS]:
         graph = families.make("ring", 16)
         res = run_program(
             graph, _Chatterer, collect_trace=True, check_connectivity=True,
@@ -214,6 +235,45 @@ def test_backend_dispatch_and_validation(monkeypatch):
         SynchronousRunner(graph, _Chatterer, backend="gpu")
     with pytest.raises(ConfigurationError):
         DenseRunner(graph, _Chatterer, backend="reference")
+
+
+@pytest.mark.skipif(not _HAS_NUMPY, reason="bulk backend requires numpy")
+def test_bulk_backend_dispatch(monkeypatch):
+    from repro.engine.bulk import BulkRunner
+
+    graph = families.make("ring", 8)
+    bulk = SynchronousRunner(graph, _Chatterer, backend="bulk")
+    assert isinstance(bulk, BulkRunner) and bulk.backend == "bulk"
+    assert isinstance(bulk, DenseRunner)  # generic fallback is inherited
+    monkeypatch.setenv("REPRO_BACKEND", "bulk")
+    assert isinstance(SynchronousRunner(graph, _Chatterer), BulkRunner)
+    with pytest.raises(ConfigurationError):
+        BulkRunner(graph, _Chatterer, backend="dense")
+
+
+def test_bulk_backend_missing_numpy_message(monkeypatch):
+    """With numpy unimportable, requesting the bulk backend fails with a
+    clear ImportError naming the dependency and the alternatives."""
+    import builtins
+    import sys
+
+    monkeypatch.delitem(sys.modules, "repro.engine.bulk", raising=False)
+    monkeypatch.delitem(sys.modules, "numpy", raising=False)
+    real_import = builtins.__import__
+
+    def no_numpy(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("No module named 'numpy'")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_numpy)
+    graph = families.make("ring", 8)
+    with pytest.raises(ImportError, match="bulk.*numpy|numpy.*bulk"):
+        SynchronousRunner(graph, _Chatterer, backend="bulk")
+    monkeypatch.undo()
+    # The module cache was poisoned with a half-imported module on some
+    # paths; force a clean re-import for later tests.
+    sys.modules.pop("repro.engine.bulk", None)
 
 
 def test_backend_env_default(monkeypatch):

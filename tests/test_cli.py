@@ -393,6 +393,30 @@ class TestSweepTier:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--tier", "galactic"])
 
+    def test_xlarge_tier_excludes_quadratic_state(self, capsys):
+        # The xlarge grid selects log-round, bulk-capable scenarios whose
+        # state stays subquadratic.  Flood-style scenarios — including
+        # star+leader, whose solve stage floods all n UIDs — are Θ(n²)
+        # information and must never enter the n=1e5 tier (they exhaust
+        # memory on any backend).  Sizes overridden to keep the test fast;
+        # the algorithm list and bulk backend preset come from the tier.
+        from repro.cli import SWEEP_TIERS
+        from repro.registry import get_scenario
+
+        algorithms = SWEEP_TIERS["xlarge"]["algorithms"]()
+        assert "star" in algorithms
+        for name in algorithms:
+            spec = get_scenario(name)
+            assert spec.supports_bulk and not spec.quadratic_state
+        for flooder in ("star+flood", "wreath+flood", "flood-baseline",
+                        "star+leader"):
+            assert flooder not in algorithms
+            assert get_scenario(flooder).quadratic_state
+        assert main(["sweep", "--tier", "xlarge", "--sizes", "64",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "bulk" in out and "leader" not in out
+
     def test_default_sweep_grid_unchanged(self, capsys):
         assert main(["sweep", "--quiet"]) == 0
         out = capsys.readouterr().out
