@@ -7,25 +7,29 @@ records).
 
 Engine benchmarks additionally record machine-readable rows into
 ``BENCH_engine.json`` at the repo root (the ``bench_engine`` fixture):
-one ``{scenario, n, backend, wall_ms, peak_rss_kb}`` row per measured
-configuration, merge-updated by key so re-runs refresh rather than
-duplicate.  CI archives the file; perf gates read their anchors from
-constants, not from it, so a stale file can never relax a gate.
+one ``repro-bench-engine/2`` row per measured configuration — wall/RSS
+plus the paper's own measures (rounds, activations), optional per-phase
+timings, and a provenance stamp (git sha, python/numpy versions,
+backend) — merge-updated by key so re-runs refresh rather than
+duplicate.  Rows from a pre-migration v1 file merge cleanly (the compat
+reader in :mod:`repro.telemetry.bench` normalizes them).  CI archives
+the file; perf gates read their anchors from constants, not from it, so
+a stale file can never relax a gate.
 """
 
 import collections
-import json
 import resource
 
 import pytest
 
 from repro.analysis import format_table
+from repro.telemetry import build_provenance
+from repro.telemetry.bench import bench_row, merge_bench
 
 _ROWS = collections.defaultdict(list)
 _BENCH_ROWS = {}
 
 _BENCH_FILE = "BENCH_engine.json"
-_BENCH_SCHEMA = "repro-bench-engine/1"
 
 
 @pytest.fixture
@@ -51,33 +55,30 @@ def peak_rss_kb() -> int:
 
 @pytest.fixture
 def bench_engine():
-    """Record one BENCH_engine.json row, keyed by (scenario, n, backend)."""
+    """Record one BENCH_engine.json row, keyed by (scenario, n, backend).
 
-    def add(scenario: str, n: int, backend: str, wall_ms: float, rss_kb: int = None) -> None:
+    ``rounds``/``activations``/``phases`` are optional (None when the
+    measurement cannot separate them, e.g. combined sweep walls); the
+    provenance stamp is always attached here.
+    """
+
+    def add(
+        scenario: str, n: int, backend: str, wall_ms: float, rss_kb: int = None,
+        *, rounds: int = None, activations: int = None, phases: list = None,
+    ) -> None:
         key = (scenario, int(n), backend)
-        _BENCH_ROWS[key] = {
-            "scenario": scenario,
-            "n": int(n),
-            "backend": backend,
-            "wall_ms": round(float(wall_ms), 1),
-            "peak_rss_kb": peak_rss_kb() if rss_kb is None else int(rss_kb),
-        }
+        _BENCH_ROWS[key] = bench_row(
+            scenario, n, backend, wall_ms,
+            peak_rss_kb=peak_rss_kb() if rss_kb is None else int(rss_kb),
+            rounds=rounds, activations=activations, phases=phases,
+            provenance=build_provenance(backend),
+        )
 
     return add
 
 
 def _write_bench_file(rootpath) -> None:
-    path = rootpath / _BENCH_FILE
-    merged = dict(_BENCH_ROWS)
-    try:
-        previous = json.loads(path.read_text())
-        for row in previous.get("rows", []):
-            key = (row["scenario"], int(row["n"]), row["backend"])
-            merged.setdefault(key, row)
-    except (OSError, ValueError, KeyError, TypeError):
-        pass  # absent or unreadable file: start fresh
-    rows = [merged[k] for k in sorted(merged)]
-    path.write_text(json.dumps({"schema": _BENCH_SCHEMA, "rows": rows}, indent=2) + "\n")
+    merge_bench(rootpath / _BENCH_FILE, list(_BENCH_ROWS.values()))
 
 
 def pytest_sessionfinish(session, exitstatus):

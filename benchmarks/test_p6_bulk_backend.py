@@ -111,7 +111,10 @@ def test_p6_wreath_anchor_gate(experiment_rows, bench_engine):
          "dense_ms": round(DENSE_ANCHOR_S * 1e3, 1), "bulk_ms": round(wall * 1e3, 1),
          "speedup": round(DENSE_ANCHOR_S / wall, 2)},
     )
-    bench_engine("wreath", ANCHOR_N, "bulk", wall * 1e3)
+    bench_engine(
+        "wreath", ANCHOR_N, "bulk", wall * 1e3,
+        rounds=rounds, activations=result["res"].metrics.total_activations,
+    )
     assert wall * 10 < DENSE_ANCHOR_S, (
         f"bulk wreath n={ANCHOR_N} took {wall:.1f} s over {rounds} rounds — "
         f"less than 10x under the {DENSE_ANCHOR_S:.0f} s dense anchor"
@@ -127,7 +130,7 @@ t0 = time.perf_counter()
 r = run_graph_to_star(g, backend="bulk")
 wall = time.perf_counter() - t0
 rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-print(wall, rss, r.metrics.rounds)
+print(wall, rss, r.metrics.rounds, r.metrics.total_activations)
 """
 
 
@@ -141,7 +144,7 @@ def test_p6_xlarge_star_smoke(experiment_rows, bench_engine):
         capture_output=True, text=True, env=env, timeout=2 * XLARGE_WALL_CEILING_S,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
-    wall_s, rss_kb, rounds = proc.stdout.split()
+    wall_s, rss_kb, rounds, activations = proc.stdout.split()
     wall_s, rss_kb = float(wall_s), int(rss_kb)
     experiment_rows(
         "P6 bulk backend",
@@ -149,7 +152,10 @@ def test_p6_xlarge_star_smoke(experiment_rows, bench_engine):
          "dense_ms": "-", "bulk_ms": round(wall_s * 1e3, 1),
          "speedup": f"rounds={rounds} rss={rss_kb // 1024}MB"},
     )
-    bench_engine("star", XLARGE_N, "bulk", wall_s * 1e3, rss_kb=rss_kb)
+    bench_engine(
+        "star", XLARGE_N, "bulk", wall_s * 1e3, rss_kb=rss_kb,
+        rounds=int(rounds), activations=int(activations),
+    )
     assert wall_s < XLARGE_WALL_CEILING_S, f"xlarge star took {wall_s:.0f} s"
     assert rss_kb < XLARGE_RSS_CEILING_KB, f"xlarge star peaked at {rss_kb} KiB"
 

@@ -50,6 +50,7 @@ from ..registry import (
     register_algorithm,
     registered_algorithms,
 )
+from ..telemetry import TelemetryObserver, format_heartbeat, profile_columns
 
 __all__ = [
     "SweepCell",
@@ -147,7 +148,12 @@ class SweepCell:
 
 
 def _execute_cell(
-    cell: SweepCell, spec: ScenarioSpec, runner_kwargs: dict, check: bool = False
+    cell: SweepCell,
+    spec: ScenarioSpec,
+    runner_kwargs: dict,
+    check: bool = False,
+    profile: bool = False,
+    heartbeat_s: float = 0.0,
 ) -> SweepRow:
     """Run one cell (also the process-pool task; must stay module-level).
 
@@ -157,7 +163,14 @@ def _execute_cell(
 
     With ``check=True`` the spec's declared invariants run online as
     round observers (:mod:`repro.conformance`) and their verdicts are
-    stamped into the row as ``inv_<name>`` columns.
+    stamped into the row as ``inv_<name>`` columns.  With
+    ``profile=True`` a :class:`~repro.telemetry.TelemetryObserver` rides
+    along and its :func:`~repro.telemetry.profile_columns` are stamped
+    as ``prof_*`` columns.  ``heartbeat_s > 0`` streams an in-cell round
+    heartbeat to stderr at most once per that many seconds, so a
+    minutes-long cell (the xlarge tier) is never silent; the observer is
+    attached here, never through ``runner_kwargs``, so heartbeat cadence
+    can never perturb a resume cache key.
     """
     check_cell(
         spec, family=cell.family, backend=cell.backend, adversary=cell.adversary,
@@ -175,6 +188,14 @@ def _execute_cell(
 
         checkers = conformance.make_checkers(spec.invariants)
         kwargs["observers"] = [*kwargs.get("observers", ()), *checkers]
+    telemetry = None
+    if profile or heartbeat_s > 0:
+        telemetry = TelemetryObserver(
+            heartbeat_every=1 if heartbeat_s > 0 else 0,
+            heartbeat_min_interval_s=heartbeat_s,
+            heartbeat_label=f"{cell.algorithm}/{cell.family} n={cell.n}",
+        )
+        kwargs["observers"] = [*kwargs.get("observers", ()), telemetry]
     result = spec.runner(graph, **kwargs)
     row = measure(cell.algorithm, cell.family, graph, result)
     # Every row records its seed unconditionally (seed 0 included), so
@@ -186,6 +207,8 @@ def _execute_cell(
         row.extra["backend"] = resolve_backend(cell.backend)
     if checkers:
         row.extra.update(conformance.verdict_columns(checkers))
+    if profile and telemetry is not None:
+        row.extra.update(profile_columns(telemetry.profile()))
     return row
 
 
@@ -201,13 +224,18 @@ class SweepPlan:
 
     ``check=True`` runs every cell under its scenario's declared online
     invariants and stamps per-cell ``inv_<name>`` verdict columns into
-    the rows (``repro sweep --check``).
+    the rows (``repro sweep --check``).  ``profile=True`` runs every
+    cell under a :class:`~repro.telemetry.TelemetryObserver` and stamps
+    ``prof_*`` columns (``repro sweep --profile``); profiled rows cache
+    like any other, so a resumed profiled sweep returns the cached
+    timings — delete the cache to re-measure.
     """
 
     cells: list = field(default_factory=list)
     runners: dict = field(default_factory=dict)
     runner_kwargs: dict = field(default_factory=dict)
     check: bool = False
+    profile: bool = False
 
     @classmethod
     def grid(
@@ -221,6 +249,7 @@ class SweepPlan:
         backend: str | None = None,
         runner_kwargs: dict | None = None,
         check: bool = False,
+        profile: bool = False,
     ) -> "SweepPlan":
         """The full cross product algorithms × families × sizes × seeds.
 
@@ -228,7 +257,7 @@ class SweepPlan:
         (each cell still gets its own fresh, identically-seeded
         adversary instance at execution time); ``backend`` stamps every
         cell with the same engine backend; ``check`` turns on the online
-        invariant verdicts.
+        invariant verdicts; ``profile`` the per-cell ``prof_*`` columns.
         """
         runners = dict(algorithms) if isinstance(algorithms, dict) else {}
         names = list(algorithms)
@@ -244,6 +273,7 @@ class SweepPlan:
             runners=runners,
             runner_kwargs=dict(runner_kwargs or {}),
             check=check,
+            profile=profile,
         )
 
     def spec(self, name: str) -> ScenarioSpec:
@@ -263,6 +293,7 @@ class SweepPlan:
         max_workers: int | None = None,
         progress=None,
         resume_dir: str | os.PathLike | None = None,
+        heartbeat_s: float = 0.0,
     ) -> "SweepResult":
         """Execute every cell and return rows in plan order.
 
@@ -273,7 +304,10 @@ class SweepPlan:
         a callable ``(done, total, cell)``.  ``resume_dir`` makes the sweep
         resumable: cached rows are loaded, only missing/changed cells
         execute, and fresh rows are persisted — byte-identical output
-        either way.
+        either way.  ``heartbeat_s > 0`` additionally streams an in-cell
+        round heartbeat to stderr at most once per that many seconds
+        (``repro sweep --progress`` and the tier presets), so long cells
+        are never silent; the heartbeat never enters the cache key.
         """
         started = time.perf_counter()
         report = _make_reporter(progress, len(self.cells))
@@ -291,23 +325,28 @@ class SweepPlan:
                 pending.append(i)
 
         if parallel and len(pending) > 1:
-            self._run_parallel(pending, specs, rows, max_workers, report, cache)
+            self._run_parallel(
+                pending, specs, rows, max_workers, report, cache, heartbeat_s
+            )
         else:
             for i in pending:
                 rows[i] = _execute_cell(
-                    self.cells[i], specs[i], self.runner_kwargs, self.check
+                    self.cells[i], specs[i], self.runner_kwargs, self.check,
+                    self.profile, heartbeat_s,
                 )
                 if cache is not None:
                     cache.store(i, rows[i])
                 report(self.cells[i])
         return SweepResult(rows=rows, elapsed=time.perf_counter() - started)
 
-    def _run_parallel(self, pending, specs, rows, max_workers, report, cache) -> None:
+    def _run_parallel(
+        self, pending, specs, rows, max_workers, report, cache, heartbeat_s=0.0
+    ) -> None:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {
                 pool.submit(
                     _execute_cell, self.cells[i], specs[i], self.runner_kwargs,
-                    self.check,
+                    self.check, self.profile, heartbeat_s,
                 ): i
                 for i in pending
             }
@@ -330,12 +369,17 @@ def _make_reporter(progress, total: int):
             progress(done, total, cell)
         return report
 
+    started = time.perf_counter()
+
     def report(cell):
         nonlocal done
         done += 1
         print(
-            f"[sweep {done}/{total}] {cell.algorithm}/{cell.family} "
-            f"n={cell.n} seed={cell.seed}",
+            format_heartbeat(
+                "sweep", done, total,
+                elapsed_s=time.perf_counter() - started, unit="cells",
+                extra=f"{cell.algorithm}/{cell.family} n={cell.n} seed={cell.seed}",
+            ),
             file=sys.stderr,
         )
     return report
@@ -392,7 +436,11 @@ def _canonical(value):
 
 
 def cell_key(
-    spec: ScenarioSpec, cell: SweepCell, runner_kwargs: dict, check: bool = False
+    spec: ScenarioSpec,
+    cell: SweepCell,
+    runner_kwargs: dict,
+    check: bool = False,
+    profile: bool = False,
 ) -> str:
     """Content hash identifying one cell's row in the result cache.
 
@@ -402,18 +450,20 @@ def cell_key(
     scenario's cached rows), the cell coordinates, the adversary label,
     the *resolved* backend (so a sweep re-run under a different
     ``REPRO_BACKEND`` re-executes instead of returning the other
-    engine's rows), the canonicalized runner kwargs, and the ``check``
+    engine's rows), the canonicalized runner kwargs, the ``check``
     flag with the spec's declared invariants (checked rows carry verdict
     columns unchecked rows lack, and a re-declared invariant set must
-    re-execute).  Bumping ``ScenarioSpec.version`` invalidates every
-    cached row of that scenario.
+    re-execute), and the ``profile`` flag (profiled rows carry ``prof_*``
+    columns unprofiled rows lack).  Bumping ``ScenarioSpec.version``
+    invalidates every cached row of that scenario.
 
-    Key schema v2 (the observer-pipeline PR): v1 keys lacked the
-    ``check``/``invariants`` fields, so every v1 cache entry is
-    invalidated by construction.
+    Key schema history: v1 lacked the ``check``/``invariants`` fields
+    (added in v2, the observer-pipeline PR); v3 (the telemetry PR) adds
+    the ``profile`` field.  Each bump invalidates every older cache
+    entry by construction.
     """
     payload = {
-        "key_version": 2,
+        "key_version": 3,
         "spec": spec.name,
         "spec_version": spec.version,
         "runner": _canonical(spec.runner),
@@ -426,6 +476,7 @@ def cell_key(
         "runner_kwargs": _canonical(runner_kwargs),
         "check": bool(check),
         "invariants": list(spec.invariants) if check else [],
+        "profile": bool(profile),
     }
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:32]
@@ -452,16 +503,17 @@ class _CellCache:
         self.cells_dir = self.root / "cells"
         self.cells_dir.mkdir(parents=True, exist_ok=True)
         self.keys = [
-            cell_key(spec, cell, plan.runner_kwargs, plan.check)
+            cell_key(spec, cell, plan.runner_kwargs, plan.check, plan.profile)
             for cell, spec in zip(plan.cells, specs)
         ]
         self._write_manifest(plan, specs)
 
     def _write_manifest(self, plan: SweepPlan, specs: list) -> None:
         manifest = {
-            "version": 2,
+            "version": 3,
             "runner_kwargs": _canonical(plan.runner_kwargs),
             "check": plan.check,
+            "profile": plan.profile,
             "cells": [
                 {
                     "key": key,

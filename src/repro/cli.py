@@ -11,6 +11,8 @@ Usage::
     python -m repro --algorithm wreath --family ring --n 64 --trace
     python -m repro --algorithm wreath --family ring --n 8192 --trace-out t.jsonl
     python -m repro --algorithm star --family gnp --n 256 --check
+    python -m repro -a wreath -f ring --n 1024 --backend bulk --profile
+    python -m repro sweep -a star -f ring --sizes 8192 --profile --progress
     python -m repro --algorithm star-heal --family ring --n 64 --adversary drop
     python -m repro --list
     python -m repro sweep -a star,euler -f ring,line --sizes 32,64 --parallel
@@ -31,6 +33,7 @@ from .dynamics import ADVERSARY_KINDS, POLICIES, AdversarySpec, make_adversary
 from .engine import ActivityObserver, BACKENDS, JsonlSink, iter_traces, resolve_backend
 from .errors import ConfigurationError
 from .registry import DEFAULT_SCENARIO, check_cell, get_scenario, scenarios
+from .telemetry import TelemetryObserver
 
 #: Named sweep grids.  The ``large`` tier is the at-scale corpus the
 #: streaming observer pipeline enables: subquadratic transforms only
@@ -47,6 +50,9 @@ SWEEP_TIERS: dict = {
         ],
         "families": ["ring", "gnp"],
         "sizes": [2048, 4096, 8192],
+        # Tier cells run for minutes: stream the in-cell round heartbeat
+        # by default (--quiet opts out, --progress turns it on anywhere).
+        "heartbeat": True,
     },
     # The ``xlarge`` tier (PR 6) runs the log-round bulk-capable
     # scenarios at n = 10^5 on the array-native backend.  Two exclusions
@@ -70,6 +76,7 @@ SWEEP_TIERS: dict = {
         "families": ["ring"],
         "sizes": [100_000],
         "backend": "bulk",
+        "heartbeat": True,
     },
 }
 
@@ -135,6 +142,13 @@ def _add_engine_flags(parser, *, subcommand: bool = False) -> None:
         help="run the scenario's declared paper-bound invariants online "
              "(repro.conformance) and report per-run verdicts; exit 1 on red",
     )
+    parser.add_argument(
+        "--profile", action="store_true", default=default(False),
+        help="collect runtime telemetry (per-round timing, wake/live-set "
+             "occupancy, per-phase breakdown; repro.telemetry): prints a "
+             "profile summary after a run, stamps prof_* columns into "
+             "sweep rows",
+    )
     for param in _registry_params().values():
         capable = ", ".join(
             s.name for s in scenarios() if s.param(param.name) is not None
@@ -184,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the full JSONL trace to PATH while running "
              "(constant memory; byte-identical to Trace.to_jsonl)",
     )
+    parser.add_argument(
+        "--profile-out", dest="profile_out", default=None, metavar="PATH",
+        help="write the merged RunProfile JSON (repro-run-profile/1) to "
+             "PATH (implies --profile)",
+    )
     parser.add_argument("--check-connectivity", action="store_true")
     parser.add_argument(
         "--list", action="store_true",
@@ -223,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated UID permutation seeds",
     )
     _add_engine_flags(sweep, subcommand=True)
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="stream an in-cell round heartbeat plus per-cell completion "
+             "lines (cells done/total, elapsed) to stderr; tier presets "
+             "enable this by default — --quiet wins",
+    )
     sweep.add_argument("--parallel", action="store_true", help="use a process pool")
     sweep.add_argument("--workers", type=int, default=None, help="process-pool size")
     sweep.add_argument(
@@ -301,13 +326,16 @@ def _main_sweep(args) -> int:
         algorithms, families_, sizes,
         seeds=args.seeds, adversary=_adversary_spec(args),
         backend=args.backend, runner_kwargs=_provided_params(args),
-        check=args.check,
+        check=args.check, profile=args.profile,
     )
+    tier = SWEEP_TIERS.get(args.tier) if args.tier else None
+    heartbeat = args.progress or bool(tier and tier.get("heartbeat"))
     result = plan.run(
         parallel=args.parallel,
         max_workers=args.workers,
         progress=not args.quiet,
         resume_dir=args.resume_dir,
+        heartbeat_s=10.0 if heartbeat and not args.quiet else 0.0,
     )
     if args.json_path:
         result.to_json(args.json_path)
@@ -366,6 +394,13 @@ def main(argv=None) -> int:
     if args.check:
         checkers = conformance.make_checkers(spec.invariants)
         observers.extend(checkers)
+    telemetry = None
+    if args.profile or args.profile_out:
+        telemetry = TelemetryObserver(
+            heartbeat_every=1, heartbeat_min_interval_s=10.0,
+            heartbeat_label=f"{args.algorithm}/{args.family} n={args.n}",
+        )
+        observers.append(telemetry)
     if observers:
         kwargs["observers"] = observers
     if args.check_connectivity and spec.supports_backend:
@@ -393,6 +428,12 @@ def main(argv=None) -> int:
     recovery = getattr(result, "recovery", None)
     if recovery is not None:
         print_table([recovery.as_dict()], title="recovery")
+    if telemetry is not None:
+        prof = telemetry.profile()
+        if args.profile_out:
+            prof.to_json(args.profile_out)
+        print_table([prof.summary_row()], title="profile")
+        print_table(prof.breakdown_table(), title="per-phase breakdown")
     if activity is not None:
         # Segment i of the activity stream is the i-th iter_traces label
         # (stages/episodes arrive in execution order); the labels come

@@ -163,6 +163,11 @@ class BulkRunner(DenseRunner):
 
         due = wake <= round_no
         due_list = np.nonzero(due)[0].tolist()
+        # Telemetry occupancy/wake accounting (repro.telemetry): the
+        # unprofiled hot path pays these integer initializations and the
+        # per-endpoint adjacency increment; everything else is guarded.
+        nlive = len(progs)
+        msg_wakes = rebind_wakes = adj_wakes = barrier_wakes = 0
 
         # 1. Send.  Only due programs run compose(); a parked program's
         # compose() would return a falsy value (the sparse contract).
@@ -200,7 +205,10 @@ class BulkRunner(DenseRunner):
                 stale[extra] = True
                 due[extra] = True
                 due_list = np.nonzero(due)[0].tolist()
+            if self._probe is not None:
+                msg_wakes = len(extra)
         get_box = inboxes.get if inboxes is not None else None
+        ndue = len(due_list)
 
         transitions = self._transitions
         publicfns = self._publicfns
@@ -279,6 +287,8 @@ class BulkRunner(DenseRunner):
             if len(pos):
                 wake[pos] = np.minimum(wake[pos], next_round)
                 stale[pos] = True
+                if self._probe is not None:
+                    rebind_wakes = len(pos)
 
         # An adjacency change is a wake condition for both endpoints.
         if activations or deactivations:
@@ -291,6 +301,7 @@ class BulkRunner(DenseRunner):
                             if wake[pos] > next_round:
                                 wake[pos] = next_round
                             stale[pos] = True
+                            adj_wakes += 1
 
         if halted_any:
             self._rebuild_batch()
@@ -310,12 +321,21 @@ class BulkRunner(DenseRunner):
             # and on_barrier() may halt — those must not run again.
             self._wake[:] = next_round
             self._stale[:] = True
+            barrier_wakes = len(self._wake)
             self._pub_objs = [publics[uid] for uid in self._uids]
             if True in map(_halted, progs):
                 self._rebuild_batch()
             else:
                 self._ready = [p.barrier_ready for p in progs]
                 self._ready_count = sum(self._ready)
+
+        if self._probe is not None:
+            self._probe.probe_round(
+                round_no, live=nlive, due=ndue, dispatch="sparse",
+                acts=len(activations), deacts=len(deactivations),
+                msg_wakes=msg_wakes, rebind_wakes=rebind_wakes,
+                adj_wakes=adj_wakes, barrier_wakes=barrier_wakes,
+            )
 
     # ------------------------------------------------------------------
     # array-kernel path (uniform populations, no barrier, no adversary)
@@ -324,6 +344,7 @@ class BulkRunner(DenseRunner):
     def _kernel_round(self, recorder, observers) -> None:
         net = self.network
         round_no = net.round
+        nlive = len(self._live)
         if observers is not None:
             for obs in observers:
                 obs.on_round_start(round_no)
@@ -360,6 +381,12 @@ class BulkRunner(DenseRunner):
         if not live:
             self._kernel.finalize(self._kstate, self)
 
+        if self._probe is not None:
+            self._probe.probe_round(
+                round_no, live=nlive, dispatch="kernel",
+                acts=len(activations), deacts=len(deactivations),
+            )
+
     def _apply_adversary(self, adversary, recorder, observers) -> None:
         before = recorder.metrics.adversary_events
         super()._apply_adversary(adversary, recorder, observers)
@@ -372,6 +399,8 @@ class BulkRunner(DenseRunner):
         ):
             self._wake[:] = self.network.round
             self._stale[:] = True
+            if self._probe is not None:
+                self._probe.probe_wake("perturbation", len(self._wake))
 
 
 def _halted(prog) -> bool:

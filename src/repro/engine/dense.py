@@ -758,6 +758,12 @@ class DenseRunner(SynchronousRunner):
             if True in map(_HALTED, progs):
                 self._rebuild_batch()
 
+        if self._probe is not None:
+            self._probe.probe_round(
+                round_no, live=len(ctxs), dispatch="pernode",
+                acts=len(activations), deacts=len(deactivations),
+            )
+
     # ------------------------------------------------------------------
     # external dynamics (see repro.dynamics and DESIGN.md note 8)
     # ------------------------------------------------------------------

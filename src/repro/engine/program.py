@@ -248,6 +248,14 @@ class PhaseKernel:
     #: ``(field_name, dtype_str, per_node_description)`` triples.
     state_fields = ()
 
+    #: Optional pure mapping ``round_no -> (phase, position)`` of a
+    #: 1-based round into the family's repeating phase structure (the
+    #: star kernel's 5-round phase is the canonical example).  None
+    #: means the family has no phase structure.  The telemetry layer
+    #: (repro.telemetry) keys its per-phase timing breakdown off this;
+    #: kernels that define it as a staticmethod expose it unchanged.
+    phase_of = None
+
     # -- array-kernel level (optional) ------------------------------------
 
     def accepts(self, runner) -> bool:

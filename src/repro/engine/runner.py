@@ -177,6 +177,10 @@ class SynchronousRunner:
         self._actions = RoundActions()
         self._conn = self._make_tracker() if check_connectivity else None
         self._n_dynamic = adversary is not None
+        # Telemetry probe (repro.telemetry): discovered from the observer
+        # pipeline in run().  None keeps every probe site on the hot path
+        # at one `is None` test per round, like the adversary hook.
+        self._probe = None
 
     # -- backend hooks (overridden by the dense backend) ----------------
 
@@ -224,6 +228,22 @@ class SynchronousRunner:
             trace_observer = TraceObserver()
             pipeline.append(trace_observer)
         observers = tuple(pipeline) if pipeline else None
+        # Telemetry probes (repro.telemetry) are discovered here and then
+        # *removed* from the per-round record stream: they receive one
+        # probe_round() call per round instead, so a profile-only run
+        # skips RoundRecord construction entirely.  Run-level hooks
+        # (on_run_start/on_run_end/on_perturbation) still reach them.
+        probe = None
+        round_observers = observers
+        if observers is not None:
+            for obs in observers:
+                if getattr(obs, "telemetry_probe", False):
+                    probe = obs
+            if probe is not None:
+                round_observers = tuple(
+                    o for o in observers if not getattr(o, "telemetry_probe", False)
+                ) or None
+        self._probe = probe
         adversary = adversary if adversary is not None else self.adversary
         # Joins/crashes change n mid-run; contexts only re-read it then.
         self._n_dynamic = adversary is not None
@@ -253,6 +273,8 @@ class SynchronousRunner:
                 del self._live[uid]
         self._post_setup()
 
+        if probe is not None:
+            probe.bind_runner(self, limit=limit)
         if observers is not None:
             for obs in observers:
                 obs.on_run_start(net)
@@ -264,7 +286,7 @@ class SynchronousRunner:
                     f"round limit {limit} exceeded; "
                     f"{len(self._live)} nodes still running"
                 )
-            self._run_round(recorder, observers)
+            self._run_round(recorder, round_observers)
             if adversary is not None and self._live:
                 self._apply_adversary(adversary, recorder, observers)
 
@@ -379,6 +401,12 @@ class SynchronousRunner:
             for uid in list(live):
                 if programs[uid].halted:
                     del live[uid]
+
+        if self._probe is not None:
+            self._probe.probe_round(
+                round_no, live=len(batch), dispatch="pernode",
+                acts=len(activations), deacts=len(deactivations),
+            )
 
     # ------------------------------------------------------------------
     # external dynamics (see repro.dynamics and DESIGN.md note 8)

@@ -48,7 +48,7 @@ RESERVED_PARAM_NAMES = frozenset({
     "seeds", "trace", "check_connectivity", "list", "command", "backend",
     "adversary", "churn_rate", "adversary_seed", "adversary_policy",
     "parallel", "workers", "resume_dir", "json_path", "csv_path", "quiet",
-    "check", "trace_out", "tier",
+    "check", "trace_out", "tier", "profile", "profile_out", "progress",
 })
 
 

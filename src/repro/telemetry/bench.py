@@ -1,0 +1,109 @@
+"""The ``BENCH_engine.json`` schema: versioned engine-benchmark rows.
+
+Schema v2 (``repro-bench-engine/2``) extends the v1 wall/RSS rows with
+the paper's own measures and a provenance stamp::
+
+    {"scenario": "wreath", "n": 8192, "backend": "bulk",
+     "wall_ms": 11253.7, "peak_rss_kb": 200476,
+     "rounds": 16389, "activations": 24571,
+     "phases": [...per-phase breakdown rows or null...],
+     "provenance": {"git_sha": ..., "python": ..., "numpy": ...,
+                    "platform": ..., "backend": "bulk"}}
+
+:func:`read_bench` is the compat reader: v1 files load fine, their rows
+normalized to the v2 shape with the new fields as None — so a CI
+archive written before the migration merges cleanly with fresh rows.
+Perf gates still read their anchors from constants, never from this
+file, so a stale row can never relax a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Current schema tag (written by :func:`write_bench`).
+BENCH_SCHEMA = "repro-bench-engine/2"
+#: The legacy wall/RSS-only schema (still readable).
+BENCH_SCHEMA_V1 = "repro-bench-engine/1"
+
+#: v2 fields absent from v1 rows, with their normalized defaults.
+_V2_FIELDS = ("rounds", "activations", "phases", "provenance")
+
+
+def bench_row(
+    scenario: str,
+    n: int,
+    backend: str,
+    wall_ms: float,
+    peak_rss_kb: int | None = None,
+    *,
+    rounds: int | None = None,
+    activations: int | None = None,
+    phases: list | None = None,
+    provenance: dict | None = None,
+) -> dict:
+    """One normalized v2 row (the merge key is (scenario, n, backend))."""
+    return {
+        "scenario": scenario,
+        "n": int(n),
+        "backend": backend,
+        "wall_ms": round(float(wall_ms), 1),
+        "peak_rss_kb": None if peak_rss_kb is None else int(peak_rss_kb),
+        "rounds": None if rounds is None else int(rounds),
+        "activations": None if activations is None else int(activations),
+        "phases": phases,
+        "provenance": provenance,
+    }
+
+
+def normalize_row(row: dict) -> dict:
+    """A v1 or v2 row dict, completed to the v2 shape (missing fields
+    become None; extra keys are preserved)."""
+    out = dict(row)
+    out.setdefault("peak_rss_kb", None)
+    for name in _V2_FIELDS:
+        out.setdefault(name, None)
+    return out
+
+
+def row_key(row: dict) -> tuple:
+    return (row["scenario"], int(row["n"]), row["backend"])
+
+
+def read_bench(path) -> list[dict]:
+    """Rows of a BENCH_engine.json file (v1 or v2), normalized to v2.
+
+    Raises ``ValueError`` on an unknown schema tag, ``OSError`` when the
+    file is absent/unreadable.
+    """
+    with open(os.fspath(path)) as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema")
+    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V1):
+        raise ValueError(
+            f"unknown BENCH schema {schema!r}; expected "
+            f"{BENCH_SCHEMA!r} or {BENCH_SCHEMA_V1!r}"
+        )
+    return [normalize_row(row) for row in payload.get("rows", [])]
+
+
+def write_bench(path, rows: list) -> None:
+    """Write rows as a v2 file, sorted by (scenario, n, backend)."""
+    ordered = sorted((normalize_row(r) for r in rows), key=row_key)
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"schema": BENCH_SCHEMA, "rows": ordered}, indent=2) + "\n")
+
+
+def merge_bench(path, new_rows: list) -> list[dict]:
+    """Merge fresh rows into the file (fresh rows win on key collision,
+    previous rows — v1 or v2 — survive), write v2, return all rows."""
+    merged = {row_key(normalize_row(r)): normalize_row(r) for r in new_rows}
+    try:
+        for row in read_bench(path):
+            merged.setdefault(row_key(row), row)
+    except (OSError, ValueError, KeyError, TypeError):
+        pass  # absent, unreadable, or foreign file: start fresh
+    rows = [merged[k] for k in sorted(merged)]
+    write_bench(path, rows)
+    return rows

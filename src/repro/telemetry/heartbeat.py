@@ -1,0 +1,40 @@
+"""One heartbeat line format for every long-running surface.
+
+The telemetry observer's round heartbeat, ``repro sweep --progress``,
+and the tier presets all render through :func:`format_heartbeat`, so a
+user watching stderr sees one consistent shape whether the unit is
+rounds or sweep cells::
+
+    [wreath/ring n=100000] 1200/4700 rounds (26%) elapsed 41.3s live=3180
+    [sweep] 3/12 cells (25%) elapsed 61.2s star/ring n=100000 seed=0
+"""
+
+from __future__ import annotations
+
+
+def format_heartbeat(
+    label: str,
+    done: int,
+    total: int | None = None,
+    *,
+    elapsed_s: float = 0.0,
+    unit: str = "",
+    extra: str = "",
+) -> str:
+    """Render one heartbeat line (no trailing newline).
+
+    ``total`` may be None/0 when the bound is unknown (then no
+    percentage is shown); ``unit`` names what is being counted
+    ("rounds", "cells"); ``extra`` is free-form trailing detail.
+    """
+    if total:
+        head = f"{done}/{total}"
+        pct = f" ({100.0 * done / total:.0f}%)"
+    else:
+        head = str(done)
+        pct = ""
+    suffix = f" {unit}" if unit else ""
+    line = f"[{label}] {head}{suffix}{pct} elapsed {elapsed_s:.1f}s"
+    if extra:
+        line = f"{line} {extra}"
+    return line

@@ -421,3 +421,84 @@ class TestSweepTier:
         assert main(["sweep", "--quiet"]) == 0
         out = capsys.readouterr().out
         assert "star" in out and "line" in out
+
+
+class TestProfileFlag:
+    def test_run_profile_prints_tables(self, capsys):
+        assert main(["-a", "star", "-f", "ring", "--n", "24", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile" in out and "per-phase breakdown" in out
+        assert "round_mean_us" in out and "dispatch" in out
+        # the star construction is 5-round phased: all positions appear
+        for phase in ("r0", "r1", "r2", "r3", "r4"):
+            assert phase in out
+
+    def test_profile_out_writes_run_profile_json(self, capsys, tmp_path):
+        from repro.telemetry import PROFILE_SCHEMA, RunProfile
+
+        path = tmp_path / "profile.json"
+        # --profile-out alone implies --profile
+        assert main(["-a", "wreath", "-f", "ring", "--n", "16",
+                     "--backend", "bulk", "--profile-out", str(path)]) == 0
+        assert "profile" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == PROFILE_SCHEMA
+        prof = RunProfile.from_dict(payload)
+        assert prof.rounds > 0 and prof.backend == "bulk"
+        assert prof.dispatch == {"sparse": prof.rounds}
+
+    def test_profile_composes_with_check_and_trace_out(self, capsys, tmp_path):
+        from repro.core import run_graph_to_star
+        from repro.graphs import families as _families
+
+        trace_path = tmp_path / "trace.jsonl"
+        prof_path = tmp_path / "profile.json"
+        assert main(["-a", "star", "-f", "ring", "--n", "16", "--check",
+                     "--trace-out", str(trace_path),
+                     "--profile-out", str(prof_path)]) == 0
+        out = capsys.readouterr().out
+        assert "invariants" in out and "ok" in out  # --check verdicts
+        assert "per-phase breakdown" in out  # --profile tables
+        # the streamed trace stays byte-identical with telemetry attached
+        res = run_graph_to_star(_families.make("ring", 16), collect_trace=True)
+        assert trace_path.read_text() == res.trace.to_jsonl()
+        assert json.loads(prof_path.read_text())["rounds"] == res.metrics.rounds
+
+    def test_profile_on_centralized_scenario(self, capsys):
+        # No probe wiring in the centralized executor: rounds are still
+        # sampled off the record stream, labeled "unprobed".
+        assert main(["-a", "euler", "-f", "ring", "--n", "24", "--profile"]) == 0
+        assert "unprobed" in capsys.readouterr().out
+
+    def test_sweep_profile_stamps_columns(self, capsys):
+        assert main(["sweep", "-a", "star,wreath", "-f", "ring", "--sizes", "16",
+                     "--profile", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "prof_wall_ms" in out and "prof_dispatch" in out
+
+    def test_profile_before_subcommand_is_honored(self, capsys):
+        assert main(["--profile", "sweep", "-a", "star", "-f", "ring",
+                     "--sizes", "16", "--quiet"]) == 0
+        assert "prof_wall_ms" in capsys.readouterr().out
+
+
+class TestSweepProgress:
+    def test_progress_reports_cells_to_stderr(self, capsys):
+        assert main(["sweep", "-a", "star", "-f", "ring", "--sizes", "16,24",
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[sweep] 1/2 cells" in err and "[sweep] 2/2 cells" in err
+        assert "elapsed" in err
+
+    def test_quiet_beats_progress_and_tier_heartbeat(self, capsys):
+        assert main(["sweep", "-a", "star", "-f", "ring", "--sizes", "16",
+                     "--progress", "--quiet"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_tier_presets_enable_heartbeat(self):
+        from repro.cli import SWEEP_TIERS
+
+        # minutes-long tiers must never be silent by default (--quiet
+        # remains the opt-out); see the xlarge-silence fix in this PR.
+        assert SWEEP_TIERS["large"]["heartbeat"] is True
+        assert SWEEP_TIERS["xlarge"]["heartbeat"] is True

@@ -337,9 +337,9 @@ class TestResumableSweeps:
         executed = []
         real = sweep_mod._execute_cell
 
-        def counting(cell, spec, kwargs, check=False):
+        def counting(cell, spec, kwargs, check=False, profile=False, heartbeat_s=0.0):
             executed.append(cell)
-            return real(cell, spec, kwargs, check)
+            return real(cell, spec, kwargs, check, profile, heartbeat_s)
 
         monkeypatch.setattr(sweep_mod, "_execute_cell", counting)
         plan.run(resume_dir=tmp_path / "cache")
@@ -474,9 +474,9 @@ class TestResumableSweeps:
         executed = []
         real = sweep_mod._execute_cell
 
-        def counting(cell, spec, kwargs, check=False):
+        def counting(cell, spec, kwargs, check=False, profile=False, heartbeat_s=0.0):
             executed.append(cell)
-            return real(cell, spec, kwargs, check)
+            return real(cell, spec, kwargs, check, profile, heartbeat_s)
 
         monkeypatch.setattr(sweep_mod, "_execute_cell", counting)
         changed = SweepPlan.grid(
@@ -553,3 +553,79 @@ class TestCheckedSweeps:
             assert result.rows[0].extra["inv_connectivity"] == "ok"
         finally:
             unregister_scenario("busted-clique")
+
+
+class TestProfiledSweeps:
+    def test_profile_plan_stamps_prof_columns(self):
+        result = SweepPlan.grid(
+            ["star", "wreath"], ["ring"], [16], profile=True
+        ).run()
+        for row in result.rows:
+            extra = row.extra
+            assert extra["prof_wall_ms"] > 0
+            assert extra["prof_round_mean_us"] > 0
+            assert "prof_dispatch" in extra
+        # prof_* columns coexist with inv_* verdicts
+        checked = SweepPlan.grid(
+            ["star"], ["ring"], [16], check=True, profile=True
+        ).run()
+        extra = checked.rows[0].extra
+        assert "prof_wall_ms" in extra and "inv_connectivity" in extra
+
+    def test_unprofiled_plan_has_no_prof_columns(self):
+        result = SweepPlan.grid(["star"], ["ring"], [16]).run()
+        assert not any(k.startswith("prof_") for k in result.rows[0].extra)
+
+    def test_profile_is_part_of_cell_key(self):
+        from repro.registry import get_scenario
+
+        spec = get_scenario("star")
+        cell = SweepCell("star", "ring", 16)
+        base = cell_key(spec, cell, {})
+        assert cell_key(spec, cell, {}, profile=True) != base
+        assert cell_key(spec, cell, {}, profile=True) == cell_key(
+            spec, cell, {}, profile=True
+        )
+
+    def test_profiled_rows_cache_and_resume(self, tmp_path):
+        plan = SweepPlan.grid(["star"], ["ring"], [16], profile=True)
+        first = plan.run(resume_dir=tmp_path / "cache")
+        resumed = plan.run(resume_dir=tmp_path / "cache")
+        assert [r.extra for r in resumed.rows] == [r.extra for r in first.rows]
+        # an unprofiled plan over the same grid misses the cache
+        import repro.analysis.sweep as sweep_mod
+
+        executed = []
+        real = sweep_mod._execute_cell
+
+        def counting(cell, spec, kwargs, check=False, profile=False, heartbeat_s=0.0):
+            executed.append(cell)
+            return real(cell, spec, kwargs, check, profile, heartbeat_s)
+
+        sweep_mod._execute_cell = counting
+        try:
+            SweepPlan.grid(["star"], ["ring"], [16]).run(resume_dir=tmp_path / "cache")
+        finally:
+            sweep_mod._execute_cell = real
+        assert len(executed) == 1
+
+    def test_heartbeat_streams_round_lines(self, capsys):
+        SweepPlan.grid(["star"], ["ring"], [16]).run(
+            progress=False, heartbeat_s=0.000001
+        )
+        err = capsys.readouterr().err
+        assert "[star/ring n=16]" in err and "rounds" in err
+
+    def test_heartbeat_does_not_perturb_cache(self, tmp_path, capsys):
+        plan = SweepPlan.grid(["star"], ["ring"], [16])
+        plan.run(resume_dir=tmp_path / "cache")
+        resumed = plan.run(
+            resume_dir=tmp_path / "cache", progress=False, heartbeat_s=0.000001
+        )
+        capsys.readouterr()
+        assert all(row is not None for row in resumed.rows)
+        # fully cached: the heartbeat setting produced no re-execution
+        manifest = json.loads(
+            (tmp_path / "cache" / "manifest.json").read_text()
+        )
+        assert manifest["profile"] is False

@@ -1,0 +1,466 @@
+"""The telemetry layer: sample stream, profiles, heartbeat, bench schema.
+
+Covers the tentpole guarantees of the telemetry PR:
+
+* **sample stream** — a :class:`TelemetryObserver` samples every executed
+  round exactly once, in order, on all three backends, including under
+  adversary perturbations and across multi-stage pipeline results;
+* **no-op identity** — attaching telemetry changes nothing about the
+  execution: traces are byte-identical and metrics equal with and
+  without the observer (the ≤5% *enabled* wall-clock overhead is gated
+  separately in ``benchmarks/test_p7_telemetry.py``);
+* **profiles** — per-phase breakdowns keyed off ``PhaseKernel.phase_of``,
+  dispatch/occupancy/wake-cause accounting per backend, JSON round-trip,
+  and exact multi-segment merging;
+* **surfaces** — the shared heartbeat line format and the versioned
+  ``BENCH_engine.json`` schema (v2 writer, v1 compat reader).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.dynamics import ChurnSchedule, ScriptedAdversary
+from repro.engine import BACKENDS, NodeProgram, iter_traces, run_program
+from repro.engine.trace import RoundRecord
+from repro.graphs import families
+from repro.registry import get_scenario
+from repro.telemetry import (
+    PROFILE_SCHEMA,
+    RunProfile,
+    TelemetryObserver,
+    WAKE_CAUSES,
+    build_provenance,
+    format_heartbeat,
+    percentile_from_hist,
+    profile_columns,
+)
+from repro.telemetry.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
+    bench_row,
+    merge_bench,
+    read_bench,
+    write_bench,
+)
+from repro.telemetry.observer import DISPATCH_UNPROBED
+
+
+def _round_counts(result):
+    """Per-segment committed-round streams, from the traced result."""
+    return [
+        [(rec.round, len(rec.activations), len(rec.deactivations))
+         for rec in trace.records if isinstance(rec, RoundRecord)]
+        for _, trace in iter_traces(result)
+    ]
+
+
+def _run(name, family, n, backend, observers, **kwargs):
+    spec = get_scenario(name)
+    if spec.supports_backend and backend is not None:
+        kwargs["backend"] = backend
+    return spec.runner(
+        families.make(family, n), collect_trace=True, observers=observers, **kwargs
+    )
+
+
+class TestSampleStream:
+    """Every executed round is sampled exactly once, in order."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name,family,n", [
+        ("star", "ring", 20),
+        ("wreath", "ring", 16),
+        ("euler", "ring", 20),
+    ])
+    def test_rounds_sampled_once_in_order(self, name, family, n, backend):
+        telemetry = TelemetryObserver(keep_samples=True)
+        result = _run(name, family, n, backend, [telemetry])
+        streams = telemetry.samples_by_segment()
+        traced = _round_counts(result)
+        assert len(streams) == len(traced)
+        for samples, rounds in zip(streams, traced):
+            assert [s[0] for s in samples] == [r for r, _, _ in rounds]
+            # activation/deactivation counts agree with the trace
+            assert [(s[5], s[6]) for s in samples] == [
+                (a, d) for _, a, d in rounds
+            ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multi_stage_pipeline_segments(self, backend):
+        telemetry = TelemetryObserver(keep_samples=True)
+        result = _run("star+flood", "line", 20, backend, [telemetry])
+        traced = _round_counts(result)
+        assert len(traced) > 1, "star+flood stopped being multi-stage; weak test"
+        assert len(telemetry.segments) == len(traced)
+        for seg, rounds in zip(telemetry.segments, traced):
+            assert seg.rounds == len(rounds)
+        merged = telemetry.profile()
+        assert merged.rounds == sum(len(r) for r in traced)
+        assert merged.segments == len(traced)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_adversary_rounds_sampled_and_counted(self, backend):
+        class Chatty(NodeProgram):
+            def transition(self, ctx, inbox):
+                if ctx.round >= 25:
+                    self.halt()
+
+        telemetry = TelemetryObserver(keep_samples=True)
+        res = run_program(
+            families.make("ring", 16),
+            Chatty,
+            collect_trace=True,
+            observers=[telemetry],
+            adversary=ChurnSchedule(
+                rate=0.4, seed=11, policy="reroute", start=3, period=4
+            ),
+            backend=backend,
+        )
+        assert res.trace.perturbations, "the schedule never fired; weak test"
+        samples = telemetry.samples_by_segment()[0]
+        assert [s[0] for s in samples] == list(range(1, res.metrics.rounds + 1))
+        assert telemetry.profile().perturbations == len(res.trace.perturbations)
+
+
+class TestNoOpIdentity:
+    """Attaching telemetry must not change the execution."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_trace_byte_identical_with_telemetry(self, backend):
+        bare = _run("wreath", "ring", 16, backend, [])
+        telemetry = TelemetryObserver()
+        probed = _run("wreath", "ring", 16, backend, [telemetry])
+        assert probed.trace.to_jsonl() == bare.trace.to_jsonl()
+        assert probed.metrics == bare.metrics
+        assert telemetry.profile().rounds == bare.metrics.rounds
+
+    def test_trace_identity_under_scripted_adversary(self):
+        class Chatty(NodeProgram):
+            def transition(self, ctx, inbox):
+                if ctx.round >= 20:
+                    self.halt()
+
+        def go(observers):
+            return run_program(
+                families.make("ring", 10),
+                Chatty,
+                collect_trace=True,
+                observers=observers,
+                adversary=ScriptedAdversary(
+                    {3: {"adds": [(0, 5)]}, 6: {"crashes": [2]}}
+                ),
+            )
+
+        bare, probed = go([]), go([TelemetryObserver()])
+        assert probed.trace.to_jsonl() == bare.trace.to_jsonl()
+
+
+class TestBackendProfiles:
+    def test_reference_and_dense_dispatch_pernode(self):
+        for backend in ("reference", "dense"):
+            telemetry = TelemetryObserver()
+            _run("wreath", "ring", 16, backend, [telemetry])
+            prof = telemetry.profile()
+            assert prof.dispatch == {"pernode": prof.rounds}
+            assert prof.live is not None and prof.live["max"] <= 16
+            assert prof.due is None
+
+    def test_bulk_sparse_occupancy_and_wake_causes(self):
+        telemetry = TelemetryObserver()
+        _run("wreath", "increasing_ring", 64, "bulk", [telemetry])
+        prof = telemetry.profile()
+        assert prof.dispatch == {"sparse": prof.rounds}
+        assert prof.due is not None
+        assert prof.due["mean"] <= prof.live["mean"]
+        assert set(prof.wake_hits) <= set(WAKE_CAUSES)
+        # the wreath construction exercises rebinds and adjacency changes
+        assert prof.wake_hits["rebind"] > 0
+        assert prof.wake_hits["adjacency"] > 0
+
+    def test_bulk_kernel_dispatch(self):
+        telemetry = TelemetryObserver()
+        _run("flood-baseline", "gnp", 25, "bulk", [telemetry])
+        prof = telemetry.profile()
+        assert prof.dispatch == {"kernel": prof.rounds}
+
+    def test_bulk_perturbation_wake_hits(self):
+        class Chatty(NodeProgram):
+            # sparse contract holds trivially: the default bulk_next_wake
+            # wakes every round, so nothing is ever skipped.
+            bulk_sparse = True
+
+            def transition(self, ctx, inbox):
+                if ctx.round >= 25:
+                    self.halt()
+
+        telemetry = TelemetryObserver()
+        res = run_program(
+            families.make("ring", 16),
+            Chatty,
+            collect_trace=True,
+            observers=[telemetry],
+            adversary=ChurnSchedule(
+                rate=0.4, seed=11, policy="reroute", start=3, period=4
+            ),
+            backend="bulk",
+        )
+        assert res.trace.perturbations
+        assert telemetry.profile().wake_hits.get("perturbation", 0) > 0
+
+    def test_phase_breakdown_follows_phase_of(self):
+        telemetry = TelemetryObserver()
+        res = _run("star", "ring", 20, "reference", [telemetry])
+        prof = telemetry.profile()
+        assert [row["phase"] for row in prof.phases] == [
+            "r0", "r1", "r2", "r3", "r4"
+        ]
+        assert sum(row["rounds"] for row in prof.phases) == res.metrics.rounds
+        assert sum(row["share"] for row in prof.phases) == pytest.approx(1.0, abs=0.01)
+        assert sum(row["activations"] for row in prof.phases) == prof.activations
+
+    def test_no_phase_kernel_single_all_row(self):
+        class Plain(NodeProgram):
+            def transition(self, ctx, inbox):
+                if ctx.round >= 3:
+                    self.halt()
+
+        telemetry = TelemetryObserver()
+        run_program(families.make("ring", 8), Plain, observers=[telemetry])
+        prof = telemetry.profile()
+        assert [row["phase"] for row in prof.phases] == ["all"]
+        assert prof.phases[0]["rounds"] == prof.rounds
+
+    def test_rss_and_provenance_recorded(self):
+        telemetry = TelemetryObserver(rss_every=1)
+        _run("star", "ring", 20, "reference", [telemetry])
+        prof = telemetry.profile()
+        assert prof.rss["samples"] >= prof.rounds
+        assert prof.rss["peak_kb"] > 0
+        for key in ("git_sha", "python", "numpy", "platform", "backend"):
+            assert key in prof.provenance
+        assert prof.provenance["backend"] == "reference"
+        assert prof.provenance == build_provenance("reference")
+
+
+class TestUnprobedHostFallback:
+    """A host that drives only the record stream still gets timed
+    samples, labeled with the ``unprobed`` dispatch."""
+
+    def test_hook_driven_sampling(self):
+        class Net:
+            n = 7
+
+        def rec(round_no, acts):
+            return RoundRecord(
+                round=round_no,
+                activations=frozenset(acts),
+                deactivations=frozenset(),
+                active_edges=0,
+                activated_edges=0,
+                connected=True,
+                barrier_epoch=0,
+            )
+
+        telemetry = TelemetryObserver(keep_samples=True)
+        telemetry.on_run_start(Net())
+        for k in range(1, 4):
+            telemetry.on_round_start(k)
+            telemetry.on_round(rec(k, [(0, i) for i in range(1, k + 1)]))
+        telemetry.on_run_end(None)
+        prof = telemetry.profile()
+        assert prof.rounds == 3
+        assert prof.n == 7
+        assert prof.dispatch == {DISPATCH_UNPROBED: 3}
+        assert prof.live is None and prof.due is None
+        assert prof.activations == 1 + 2 + 3
+        samples = telemetry.samples_by_segment()[0]
+        assert [s[0] for s in samples] == [1, 2, 3]
+
+
+class TestRunProfile:
+    def _profile(self):
+        telemetry = TelemetryObserver()
+        _run("wreath", "ring", 16, "bulk", [telemetry])
+        return telemetry.profile()
+
+    def test_json_round_trip(self, tmp_path):
+        prof = self._profile()
+        back = RunProfile.from_dict(json.loads(prof.to_json()))
+        assert back.as_dict() == prof.as_dict()
+        out = tmp_path / "profile.json"
+        prof.to_json(out)
+        assert RunProfile.from_dict(json.loads(out.read_text())).rounds == prof.rounds
+
+    def test_from_dict_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="repro-run-profile"):
+            RunProfile.from_dict({"schema": "something-else/9"})
+
+    def test_schema_tag(self):
+        assert self._profile().as_dict()["schema"] == PROFILE_SCHEMA
+
+    def test_merge_is_exact_on_sums_and_extremes(self):
+        a = RunProfile(
+            backend="bulk", n=8, rounds=2, wall_s=0.004,
+            round_us={"mean": 2000.0, "min": 1000.0, "max": 3000.0,
+                      "p50": 2048.0, "p90": 4096.0},
+            histogram_us={"1024": 1, "4096": 1},
+            slowest=[[2, 3000.0], [1, 1000.0]],
+            dispatch={"sparse": 2}, wake_hits={"message": 3},
+            activations=4, deactivations=1,
+            rss={"samples": 1, "peak_kb": 100},
+            phases=[{"phase": "all", "rounds": 2, "wall_ms": 4.0,
+                     "share": 1.0, "mean_us": 2000.0, "activations": 4}],
+        )
+        b = RunProfile(
+            backend="bulk", n=8, rounds=1, wall_s=0.008,
+            round_us={"mean": 8000.0, "min": 8000.0, "max": 8000.0,
+                      "p50": 8192.0, "p90": 8192.0},
+            histogram_us={"8192": 1},
+            slowest=[[1, 8000.0]],
+            dispatch={"sparse": 1}, wake_hits={"message": 2, "rebind": 1},
+            activations=1, deactivations=0,
+            rss={"samples": 2, "peak_kb": 120},
+            phases=[{"phase": "all", "rounds": 1, "wall_ms": 8.0,
+                     "share": 1.0, "mean_us": 8000.0, "activations": 1}],
+        )
+        m = RunProfile.merge([a, b])
+        assert m.rounds == 3
+        assert m.wall_s == pytest.approx(0.012)
+        assert m.round_us["min"] == 1000.0
+        assert m.round_us["max"] == 8000.0
+        assert m.round_us["mean"] == pytest.approx(4000.0)
+        assert m.histogram_us == {"1024": 1, "4096": 1, "8192": 1}
+        assert m.dispatch == {"sparse": 3}
+        assert m.wake_hits == {"message": 5, "rebind": 1}
+        assert m.activations == 5 and m.deactivations == 1
+        assert m.rss == {"samples": 3, "peak_kb": 120}
+        assert m.segments == 2
+        assert m.slowest[0] == [1, 8000.0]
+        (row,) = m.phases
+        assert row["rounds"] == 3 and row["activations"] == 5
+        assert row["share"] == pytest.approx(1.0)
+
+    def test_merge_of_empty_and_singleton(self):
+        empty = RunProfile.merge([])
+        assert empty.rounds == 0
+        assert empty.round_us["p90"] == 0.0
+        one = self._profile()
+        assert RunProfile.merge([one]) is one
+
+    def test_percentile_from_hist(self):
+        hist = {"1": 5, "1024": 4, "8192": 1}
+        assert percentile_from_hist(hist, 0.50) == 1.0
+        assert percentile_from_hist(hist, 0.90) == 1024.0
+        assert percentile_from_hist(hist, 0.999) == 8192.0
+        assert percentile_from_hist({}, 0.5) == 0.0
+
+    def test_summary_and_columns(self):
+        prof = self._profile()
+        row = prof.summary_row()
+        assert row["rounds"] == prof.rounds
+        assert "sparse" in row["dispatch"]
+        cols = profile_columns(prof)
+        assert set(cols) >= {
+            "prof_wall_ms", "prof_round_mean_us", "prof_round_max_us",
+            "prof_dispatch", "prof_live_mean", "prof_due_mean",
+            "prof_rss_peak_kb",
+        }
+        assert all(k.startswith("prof_") for k in cols)
+        assert prof.breakdown_table() == prof.phases
+        assert prof.breakdown_table() is not prof.phases
+
+
+class TestHeartbeat:
+    def test_format_with_and_without_total(self):
+        line = format_heartbeat(
+            "wreath/ring n=64", 120, 480, elapsed_s=4.25, unit="rounds",
+            extra="live=12",
+        )
+        assert line == "[wreath/ring n=64] 120/480 rounds (25%) elapsed 4.2s live=12"
+        assert format_heartbeat("sweep", 3, elapsed_s=0.0) == "[sweep] 3 elapsed 0.0s"
+
+    def test_observer_emits_to_stream(self):
+        buf = io.StringIO()
+        telemetry = TelemetryObserver(
+            heartbeat_every=1, heartbeat_stream=buf, heartbeat_label="test-hb"
+        )
+        res = _run("star", "ring", 16, "reference", [telemetry])
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == res.metrics.rounds
+        assert all(line.startswith("[test-hb] ") for line in lines)
+        assert "rounds" in lines[0]
+
+    def test_min_interval_throttles(self):
+        buf = io.StringIO()
+        telemetry = TelemetryObserver(
+            heartbeat_every=1, heartbeat_min_interval_s=3600.0,
+            heartbeat_stream=buf,
+        )
+        _run("star", "ring", 16, "reference", [telemetry])
+        # the first beat passes (hb_last starts at 0), the rest throttle
+        assert len(buf.getvalue().splitlines()) <= 1
+
+    def test_disabled_by_default(self):
+        buf = io.StringIO()
+        telemetry = TelemetryObserver(heartbeat_stream=buf)
+        _run("star", "ring", 16, "reference", [telemetry])
+        assert buf.getvalue() == ""
+
+
+class TestBenchSchema:
+    def _rows(self):
+        return [
+            bench_row("wreath", 64, "bulk", 12.34, 2048, rounds=100,
+                      activations=50, provenance=build_provenance("bulk")),
+            bench_row("star", 32, "dense", 5.6),
+        ]
+
+    def test_v2_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench(path, self._rows())
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+        rows = read_bench(path)
+        assert [r["scenario"] for r in rows] == ["star", "wreath"]  # sorted
+        wreath = rows[1]
+        assert wreath["rounds"] == 100
+        assert wreath["provenance"]["backend"] == "bulk"
+        star = rows[0]
+        assert star["peak_rss_kb"] is None and star["phases"] is None
+
+    def test_v1_compat_reader(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": BENCH_SCHEMA_V1,
+            "rows": [{"scenario": "wreath", "n": 8192, "backend": "bulk",
+                      "wall_ms": 9000.1, "peak_rss_kb": 12345}],
+        }))
+        (row,) = read_bench(path)
+        assert row["wall_ms"] == 9000.1
+        for name in ("rounds", "activations", "phases", "provenance"):
+            assert row[name] is None
+
+    def test_merge_fresh_wins_old_survives(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": BENCH_SCHEMA_V1,
+            "rows": [
+                {"scenario": "wreath", "n": 64, "backend": "bulk", "wall_ms": 99.0},
+                {"scenario": "legacy", "n": 1, "backend": "dense", "wall_ms": 1.0},
+            ],
+        }))
+        merged = merge_bench(path, self._rows())
+        by_key = {(r["scenario"], r["n"], r["backend"]): r for r in merged}
+        assert by_key[("wreath", 64, "bulk")]["wall_ms"] == 12.3  # fresh won
+        assert by_key[("legacy", 1, "dense")]["wall_ms"] == 1.0  # survived
+        assert json.loads(path.read_text())["schema"] == BENCH_SCHEMA
+
+    def test_unknown_schema_raises_but_merge_recovers(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"schema": "not-a-bench/3", "rows": []}))
+        with pytest.raises(ValueError, match="unknown BENCH schema"):
+            read_bench(path)
+        merged = merge_bench(path, self._rows())  # starts fresh, no raise
+        assert len(merged) == 2
