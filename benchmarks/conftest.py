@@ -18,7 +18,6 @@ a stale file can never relax a gate.
 """
 
 import collections
-import resource
 
 import pytest
 
@@ -45,12 +44,15 @@ def experiment_rows():
 def peak_rss_kb() -> int:
     """Peak resident set size of this process so far, in KiB.
 
-    ``ru_maxrss`` is kilobytes on Linux (this repo's CI target); the
-    value is a high-water mark, so rows recorded late in a session
-    include earlier tests' peaks — gates that need a tight bound run
-    their workload in a fresh interpreter instead.
+    Delegates to the telemetry layer's platform-normalized reading
+    (``ru_maxrss`` is KiB on Linux but bytes on macOS).  The value is a
+    high-water mark, so rows recorded late in a session include earlier
+    tests' peaks — gates that need a tight bound run their workload in a
+    fresh interpreter instead.
     """
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    from repro.telemetry.observer import peak_rss_kb as _peak
+
+    return _peak()
 
 
 @pytest.fixture
@@ -65,13 +67,14 @@ def bench_engine():
     def add(
         scenario: str, n: int, backend: str, wall_ms: float, rss_kb: int = None,
         *, rounds: int = None, activations: int = None, phases: list = None,
+        **extra,
     ) -> None:
         key = (scenario, int(n), backend)
         _BENCH_ROWS[key] = bench_row(
             scenario, n, backend, wall_ms,
             peak_rss_kb=peak_rss_kb() if rss_kb is None else int(rss_kb),
             rounds=rounds, activations=activations, phases=phases,
-            provenance=build_provenance(backend),
+            provenance=build_provenance(backend), **extra,
         )
 
     return add

@@ -147,6 +147,20 @@ class SweepCell:
     backend: str | None = None
 
 
+def _cell_trace_path(template, cell: SweepCell) -> str:
+    """Resolve a per-cell ``--trace-out`` path template."""
+    try:
+        return str(template).format(
+            algorithm=cell.algorithm, family=cell.family, n=cell.n,
+            seed=cell.seed,
+        )
+    except (KeyError, IndexError) as exc:
+        raise ConfigurationError(
+            f"bad trace-out template {str(template)!r} ({exc!r}); available "
+            f"placeholders: {{algorithm}} {{family}} {{n}} {{seed}}"
+        ) from None
+
+
 def _execute_cell(
     cell: SweepCell,
     spec: ScenarioSpec,
@@ -154,6 +168,7 @@ def _execute_cell(
     check: bool = False,
     profile: bool = False,
     heartbeat_s: float = 0.0,
+    trace_out=None,
 ) -> SweepRow:
     """Run one cell (also the process-pool task; must stay module-level).
 
@@ -168,13 +183,17 @@ def _execute_cell(
     along and its :func:`~repro.telemetry.profile_columns` are stamped
     as ``prof_*`` columns.  ``heartbeat_s > 0`` streams an in-cell round
     heartbeat to stderr at most once per that many seconds, so a
-    minutes-long cell (the xlarge tier) is never silent; the observer is
-    attached here, never through ``runner_kwargs``, so heartbeat cadence
-    can never perturb a resume cache key.
+    minutes-long cell (the xlarge tier) is never silent.
+    ``trace_out`` (a per-cell path template; extension negotiates JSONL
+    vs binary) streams the cell's full trace to disk.  Both are attached
+    here, never through ``runner_kwargs``, so neither heartbeat cadence
+    nor archive destinations can perturb a resume cache key — which also
+    means a cell served from the resume cache writes no archive (delete
+    the cache entry to re-record).
     """
     check_cell(
         spec, family=cell.family, backend=cell.backend, adversary=cell.adversary,
-        trace=bool(runner_kwargs.get("collect_trace")),
+        trace=bool(runner_kwargs.get("collect_trace")) or trace_out is not None,
     )
     graph = families.make(cell.family, cell.n, seed=cell.seed)
     kwargs = dict(runner_kwargs)
@@ -196,7 +215,21 @@ def _execute_cell(
             heartbeat_label=f"{cell.algorithm}/{cell.family} n={cell.n}",
         )
         kwargs["observers"] = [*kwargs.get("observers", ()), telemetry]
-    result = spec.runner(graph, **kwargs)
+    sink = None
+    if trace_out is not None:
+        from ..engine.tracebin import trace_sink_for
+
+        path = _cell_trace_path(trace_out, cell)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        sink = trace_sink_for(path)
+        kwargs["observers"] = [*kwargs.get("observers", ()), sink]
+    try:
+        result = spec.runner(graph, **kwargs)
+    finally:
+        if sink is not None:
+            sink.close()
     row = measure(cell.algorithm, cell.family, graph, result)
     # Every row records its seed unconditionally (seed 0 included), so
     # mixed-seed tables are never ragged or ambiguous.
@@ -294,6 +327,7 @@ class SweepPlan:
         progress=None,
         resume_dir: str | os.PathLike | None = None,
         heartbeat_s: float = 0.0,
+        trace_out=None,
     ) -> "SweepResult":
         """Execute every cell and return rows in plan order.
 
@@ -307,11 +341,26 @@ class SweepPlan:
         either way.  ``heartbeat_s > 0`` additionally streams an in-cell
         round heartbeat to stderr at most once per that many seconds
         (``repro sweep --progress`` and the tier presets), so long cells
-        are never silent; the heartbeat never enters the cache key.
+        are never silent.  ``trace_out`` streams every executed cell's
+        trace to a per-cell path resolved from the template's
+        ``{algorithm}``/``{family}``/``{n}``/``{seed}`` placeholders
+        (extension negotiates the format: ``.rtb`` binary, else JSONL);
+        multi-cell plans must template distinct paths.  Neither
+        heartbeat nor trace destinations enter the cache key, so cached
+        cells neither re-run nor re-archive.
         """
         started = time.perf_counter()
         report = _make_reporter(progress, len(self.cells))
         specs = [self.spec(cell.algorithm) for cell in self.cells]
+        if trace_out is not None and len(self.cells) > 1:
+            paths = [_cell_trace_path(trace_out, cell) for cell in self.cells]
+            if len(set(paths)) != len(paths):
+                raise ConfigurationError(
+                    f"trace-out template {str(trace_out)!r} maps "
+                    f"{len(self.cells)} cells onto {len(set(paths))} "
+                    f"path(s); add {{algorithm}}/{{family}}/{{n}}/{{seed}} "
+                    f"placeholders so every cell archives separately"
+                )
         cache = _CellCache(resume_dir, self, specs) if resume_dir is not None else None
 
         rows: list = [None] * len(self.cells)
@@ -326,13 +375,14 @@ class SweepPlan:
 
         if parallel and len(pending) > 1:
             self._run_parallel(
-                pending, specs, rows, max_workers, report, cache, heartbeat_s
+                pending, specs, rows, max_workers, report, cache, heartbeat_s,
+                trace_out,
             )
         else:
             for i in pending:
                 rows[i] = _execute_cell(
                     self.cells[i], specs[i], self.runner_kwargs, self.check,
-                    self.profile, heartbeat_s,
+                    self.profile, heartbeat_s, trace_out,
                 )
                 if cache is not None:
                     cache.store(i, rows[i])
@@ -340,13 +390,14 @@ class SweepPlan:
         return SweepResult(rows=rows, elapsed=time.perf_counter() - started)
 
     def _run_parallel(
-        self, pending, specs, rows, max_workers, report, cache, heartbeat_s=0.0
+        self, pending, specs, rows, max_workers, report, cache,
+        heartbeat_s=0.0, trace_out=None,
     ) -> None:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {
                 pool.submit(
                     _execute_cell, self.cells[i], specs[i], self.runner_kwargs,
-                    self.check, self.profile, heartbeat_s,
+                    self.check, self.profile, heartbeat_s, trace_out,
                 ): i
                 for i in pending
             }

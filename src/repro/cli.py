@@ -10,6 +10,8 @@ Usage::
     python -m repro --algorithm star+flood --family line --n 256
     python -m repro --algorithm wreath --family ring --n 64 --trace
     python -m repro --algorithm wreath --family ring --n 8192 --trace-out t.jsonl
+    python -m repro --algorithm wreath --family ring --n 8192 --trace-out t.rtb
+    python -m repro check-trace t.rtb -a wreath -f ring --n 8192 --jobs 4
     python -m repro --algorithm star --family gnp --n 256 --check
     python -m repro -a wreath -f ring --n 1024 --backend bulk --profile
     python -m repro sweep -a star -f ring --sizes 8192 --profile --progress
@@ -30,8 +32,14 @@ import sys
 from . import conformance, graphs
 from .analysis import SweepPlan, measure, print_table
 from .dynamics import ADVERSARY_KINDS, POLICIES, AdversarySpec, make_adversary
-from .engine import ActivityObserver, BACKENDS, JsonlSink, iter_traces, resolve_backend
-from .errors import ConfigurationError
+from .engine import (
+    ActivityObserver,
+    BACKENDS,
+    iter_traces,
+    resolve_backend,
+    trace_sink_for,
+)
+from .errors import ConfigurationError, TraceError
 from .registry import DEFAULT_SCENARIO, check_cell, get_scenario, scenarios
 from .telemetry import TelemetryObserver
 
@@ -195,8 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true", help="print per-round activations")
     parser.add_argument(
         "--trace-out", dest="trace_out", default=None, metavar="PATH",
-        help="stream the full JSONL trace to PATH while running "
-             "(constant memory; byte-identical to Trace.to_jsonl)",
+        help="stream the full trace to PATH while running (constant "
+             "memory); the extension negotiates the format — .rtb "
+             "writes the compact framed binary archive, anything else "
+             "JSONL byte-identical to Trace.to_jsonl",
     )
     parser.add_argument(
         "--profile-out", dest="profile_out", default=None, metavar="PATH",
@@ -258,6 +268,58 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     sweep.add_argument("--csv", dest="csv_path", default=None, help="write rows as CSV")
     sweep.add_argument("--quiet", action="store_true", help="suppress progress output")
+    sweep.add_argument(
+        "--trace-out", dest="trace_out", default=argparse.SUPPRESS,
+        metavar="TEMPLATE",
+        help="stream every executed cell's trace to a per-cell path "
+             "resolved from {algorithm}/{family}/{n}/{seed} placeholders "
+             "(e.g. traces/{algorithm}-{family}-{n}.rtb); the extension "
+             "negotiates the format (.rtb binary, else JSONL); cells "
+             "served from --resume write no archive",
+    )
+
+    chk = sub.add_parser(
+        "check-trace",
+        help="audit an archived trace (JSONL or .rtb) offline against a "
+             "scenario's declared paper-bound invariants",
+    )
+    chk.add_argument(
+        "archive", metavar="PATH",
+        help="trace archive to audit (format sniffed by content)",
+    )
+    # Shares --algorithm/--family/--n/--seed dests with the root parser
+    # (same SUPPRESS contract as the sweep subparser): they describe the
+    # graph the archive was recorded on.
+    chk.add_argument(
+        "--algorithm", "-a",
+        choices=[spec.name for spec in scenarios()], default=argparse.SUPPRESS,
+        help="scenario whose declared invariants to audit against",
+    )
+    chk.add_argument(
+        "--family", "-f", choices=sorted(graphs.FAMILIES),
+        default=argparse.SUPPRESS,
+        help="workload family the archive was recorded on",
+    )
+    chk.add_argument(
+        "--n", type=int, default=argparse.SUPPRESS,
+        help="network size the archive was recorded at",
+    )
+    chk.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS,
+        help="UID permutation seed of the recorded run",
+    )
+    chk.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool size for per-segment audits (default: the CPU "
+             "count; 1 audits inline with no pool)",
+    )
+    chk.add_argument(
+        "--baselines", choices=("chained", "restart"), default="chained",
+        help="what each archive segment replays against: the previous "
+             "segment's end state (chained — the pipeline contract) or "
+             "the initial graph again (restart — concatenated repeated "
+             "runs)",
+    )
     return parser
 
 
@@ -330,13 +392,18 @@ def _main_sweep(args) -> int:
     )
     tier = SWEEP_TIERS.get(args.tier) if args.tier else None
     heartbeat = args.progress or bool(tier and tier.get("heartbeat"))
-    result = plan.run(
-        parallel=args.parallel,
-        max_workers=args.workers,
-        progress=not args.quiet,
-        resume_dir=args.resume_dir,
-        heartbeat_s=10.0 if heartbeat and not args.quiet else 0.0,
-    )
+    try:
+        result = plan.run(
+            parallel=args.parallel,
+            max_workers=args.workers,
+            progress=not args.quiet,
+            resume_dir=args.resume_dir,
+            heartbeat_s=10.0 if heartbeat and not args.quiet else 0.0,
+            trace_out=getattr(args, "trace_out", None),
+        )
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     if args.json_path:
         result.to_json(args.json_path)
     if args.csv_path:
@@ -359,10 +426,39 @@ def _main_sweep(args) -> int:
     return 0
 
 
+def _main_check_trace(args) -> int:
+    """Offline audit: replay an archive against a scenario's invariants."""
+    spec = get_scenario(args.algorithm)
+    if not spec.invariants:
+        print(
+            f"scenario {args.algorithm!r} declares no invariants to audit "
+            f"against; pick the scenario the archive was recorded with",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        graph = graphs.make(args.family, args.n, seed=args.seed)
+        verdicts = conformance.check_trace_parallel(
+            graph, args.archive, spec.invariants,
+            jobs=args.jobs, baselines=args.baselines,
+        )
+    except (ConfigurationError, TraceError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print_table(
+        [{v.invariant: v.cell for v in verdicts}],
+        title=f"offline audit: {args.archive} "
+              f"({args.algorithm}/{args.family} n={args.n})",
+    )
+    return 1 if any(not v.ok for v in verdicts) else 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) == "sweep":
         return _main_sweep(args)
+    if getattr(args, "command", None) == "check-trace":
+        return _main_check_trace(args)
     if args.list:
         return _main_list()
 
@@ -389,7 +485,7 @@ def main(argv=None) -> int:
         activity = ActivityObserver()
         observers.append(activity)
     if args.trace_out:
-        sink = JsonlSink(args.trace_out)
+        sink = trace_sink_for(args.trace_out)
         observers.append(sink)
     if args.check:
         checkers = conformance.make_checkers(spec.invariants)

@@ -14,7 +14,15 @@ from .runner import (
     resolve_backend,
     run_program,
 )
-from .trace import PerturbationRecord, RoundRecord, Trace, iter_traces
+from .trace import PerturbationRecord, RoundRecord, Trace, iter_traces, split_segments
+from .tracebin import (
+    BinarySink,
+    BinaryTraceReader,
+    from_binary,
+    load_trace,
+    to_binary,
+    trace_sink_for,
+)
 
 
 def __getattr__(name):
@@ -31,6 +39,8 @@ __all__ = [
     "BulkRunner",
     "ActivityObserver",
     "BACKENDS",
+    "BinarySink",
+    "BinaryTraceReader",
     "CentralizedResult",
     "CentralizedStrategy",
     "ConnectivityTracker",
@@ -56,8 +66,13 @@ __all__ = [
     "aggregate_metrics",
     "canonical_view",
     "edge_key",
+    "from_binary",
     "iter_traces",
+    "load_trace",
     "resolve_backend",
     "run_centralized",
     "run_program",
+    "split_segments",
+    "to_binary",
+    "trace_sink_for",
 ]

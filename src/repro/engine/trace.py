@@ -13,6 +13,7 @@ import json
 from dataclasses import dataclass, field
 
 from ..errors import TraceError
+from .actions import _type_order
 
 
 @dataclass(frozen=True)
@@ -117,11 +118,19 @@ class Trace:
         """
         import os
 
+        # A str is a path when it *looks* like one (single line, not a
+        # JSON object) — or when it actually exists on disk, which wins
+        # over any lexical guess: a real file named "{weird}.jsonl" must
+        # be read, not fed to the JSON parser.  os.PathLike is always a
+        # path, never sniffed.
         if isinstance(source, os.PathLike) or (
             isinstance(source, str)
             and source != ""
             and "\n" not in source
-            and not source.lstrip().startswith("{")
+            and (
+                not source.lstrip().startswith("{")
+                or os.path.exists(source)
+            )
         ):
             try:
                 with open(source) as fh:
@@ -214,8 +223,46 @@ def iter_traces(result):
     yield None, result.trace
 
 
+def _edge_sort_key(pair) -> tuple:
+    return tuple(_type_order(x) for x in pair)
+
+
+def sorted_edges(edges) -> list:
+    """Edge pairs in the canonical archive order.
+
+    This is the one ordering both serializers share (JSONL lines and the
+    binary frames of :mod:`repro.engine.tracebin`), so converting between
+    the two formats never reorders an effective set.  Mutually comparable
+    labels (the normal case: all-int or all-str uids) sort directly;
+    mixed-type labels fall back to the network layer's type-aware
+    ordering (:func:`repro.engine.actions.edge_key` uses the same
+    ``_type_order``) instead of raising ``TypeError``.  The inner order
+    of each pair is preserved as recorded.
+    """
+    pairs = [tuple(e) for e in edges]
+    try:
+        return sorted(pairs)
+    except TypeError:
+        return sorted(pairs, key=_edge_sort_key)
+
+
 def _edge_list(edges) -> list:
-    return sorted([list(e) for e in edges])
+    return [list(e) for e in sorted_edges(edges)]
+
+
+def split_segments(records) -> list:
+    """Partition round records into run segments: a round number that
+    does not increase starts a new segment (each pipeline stage or
+    self-healing episode restarts at round 1).  Always returns at least
+    one (possibly empty) segment."""
+    segments: list = []
+    last = None
+    for rec in records:
+        if last is None or rec.round <= last:
+            segments.append([])
+        segments[-1].append(rec)
+        last = rec.round
+    return segments or [[]]
 
 
 def _int_field(d: dict, name: str) -> int:

@@ -23,11 +23,14 @@ class ExecutionError(ReproError):
 
 
 class TraceError(ReproError):
-    """A serialized trace could not be parsed.
+    """A serialized trace could not be parsed or written.
 
-    Raised (with the offending line number) for corrupted, truncated, or
-    wrong-shaped JSONL input; callers never see a bare ``KeyError`` or
-    ``json.JSONDecodeError`` from trace loading.
+    Raised for corrupted, truncated, or wrong-shaped trace archives in
+    either format — with the offending line number for JSONL input, or
+    the offending segment/frame for binary (``.rtb``) input — and for
+    records the binary encoder cannot represent.  Callers never see a
+    bare ``KeyError``, ``json.JSONDecodeError``, or ``zlib.error`` from
+    trace loading.
     """
 
 

@@ -42,9 +42,15 @@ def bench_row(
     activations: int | None = None,
     phases: list | None = None,
     provenance: dict | None = None,
+    **extra,
 ) -> dict:
-    """One normalized v2 row (the merge key is (scenario, n, backend))."""
-    return {
+    """One normalized v2 row (the merge key is (scenario, n, backend)).
+
+    Extra keyword fields (e.g. archive-size measures) ride along in the
+    row; :func:`normalize_row` preserves unknown keys, so they survive
+    merges and compat reads.
+    """
+    row = {
         "scenario": scenario,
         "n": int(n),
         "backend": backend,
@@ -55,6 +61,21 @@ def bench_row(
         "phases": phases,
         "provenance": provenance,
     }
+    row.update(extra)
+    return row
+
+
+def sweep_totals(rows) -> tuple[int, int]:
+    """Combined ``(rounds, activations)`` across sweep rows.
+
+    For BENCH rows that record one wall over a whole sweep (e.g. the
+    xlarge tier smoke), the paper measures are still separable: sum them
+    from the per-cell sweep rows instead of recording ``null``.
+    """
+    return (
+        sum(int(row["rounds"]) for row in rows),
+        sum(int(row["total_activations"]) for row in rows),
+    )
 
 
 def normalize_row(row: dict) -> dict:

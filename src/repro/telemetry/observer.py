@@ -77,8 +77,22 @@ def _phase_of_for(runner):
     return getattr(kernel, "phase_of", None)
 
 
-def _rss_kb() -> int:
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in KiB.
+
+    ``getrusage().ru_maxrss`` is kilobytes on Linux but *bytes* on
+    macOS/BSD, so the raw reading would overreport 1024x off-Linux;
+    normalize here so ``RunProfile.peak_rss`` and the ``prof_*`` sweep
+    columns are comparable across platforms.
+    """
+    raw = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        return raw // 1024
+    return raw
+
+
+# Backwards-compatible private alias (pre-fix internal name).
+_rss_kb = peak_rss_kb
 
 
 class TelemetryObserver(RoundObserver):

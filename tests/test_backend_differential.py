@@ -22,13 +22,19 @@ import pytest
 from repro.dynamics import AdversarySpec, ChurnSchedule, ScriptedAdversary, make_adversary
 from repro.engine import (
     BACKENDS,
+    BinarySink,
+    BinaryTraceReader,
     JsonlSink,
     Metrics,
     NodeProgram,
     SynchronousRunner,
+    Trace,
+    from_binary,
     iter_traces,
     run_program,
+    to_binary,
 )
+from repro.engine.trace import PerturbationRecord
 from repro.engine.dense import DenseRunner
 from repro.errors import ConfigurationError
 from repro.graphs import families
@@ -55,32 +61,63 @@ def _episode_traces(result):
 
 
 def _run_cell(algorithm, family, n, seed, adversary_spec, backend):
-    """Run one cell with both trace forms: the in-memory Trace and a
-    streaming JsonlSink on the same observer pipeline."""
+    """Run one cell with all three trace forms: the in-memory Trace, a
+    streaming JsonlSink, and a streaming BinarySink on the same
+    observer pipeline."""
     runner = get_algorithm(algorithm)
     graph = families.make(family, n, seed=seed)
     sink = JsonlSink(io.StringIO())
-    kwargs = {"collect_trace": True, "backend": backend, "observers": [sink]}
+    bsink = BinarySink(io.BytesIO(), meta={"provenance": None})
+    kwargs = {"collect_trace": True, "backend": backend, "observers": [sink, bsink]}
     if adversary_spec is not None:
         kwargs["adversary"] = make_adversary(adversary_spec)
     result = runner(graph, **kwargs)
-    return result, sink._fh.getvalue()
+    bsink.close()
+    return result, sink._fh.getvalue(), bsink._fh.getvalue()
+
+
+def _binary_streamed_jsonl(data: bytes) -> str:
+    """The streamed ``.rtb`` bytes, decoded segment by segment back to
+    the JSONL the JsonlSink would have streamed for the same events."""
+    out = []
+    with BinaryTraceReader(data) as reader:
+        for i in range(len(reader.segments)):
+            seg = Trace()
+            for rec in reader.iter_segment(i):
+                if isinstance(rec, PerturbationRecord):
+                    seg.append_perturbation(rec)
+                else:
+                    seg.append(rec)
+            out.append(seg.to_jsonl())
+    return "".join(out)
 
 
 def _assert_cell_equivalent(algorithm, family, n, seed=0, adversary_spec=None):
-    ref, ref_streamed = _run_cell(algorithm, family, n, seed, adversary_spec, "reference")
-    # The streaming sink is the oracle's third form: byte-identical to
-    # the materialized traces, on every backend.
+    ref, ref_streamed, ref_binary = _run_cell(
+        algorithm, family, n, seed, adversary_spec, "reference"
+    )
+    # The streaming sinks are the oracle's third and fourth forms:
+    # byte-identical to the materialized traces, on every backend.
     materialized = "".join(payload for _, payload in _episode_traces(ref))
     recovery = getattr(ref, "recovery", None)
+    for label_, trace in iter_traces(ref):
+        # Binary conversion is lossless against the JSONL oracle over
+        # the whole registry corpus (DESIGN.md, "Binary traces").
+        assert from_binary(to_binary(trace)).to_jsonl() == trace.to_jsonl()
     for backend in COMPARISON_BACKENDS:
-        alt, alt_streamed = _run_cell(algorithm, family, n, seed, adversary_spec, backend)
+        alt, alt_streamed, alt_binary = _run_cell(
+            algorithm, family, n, seed, adversary_spec, backend
+        )
         label = f"{algorithm}/{family}/n={n}/seed={seed}/adv={adversary_spec}/{backend}"
         assert _episode_traces(alt) == _episode_traces(ref), f"trace diverged: {label}"
         assert alt.metrics == ref.metrics, f"metrics diverged: {label}"
         assert alt.rounds == ref.rounds, f"rounds diverged: {label}"
         assert ref_streamed == materialized, f"reference sink diverged: {label}"
         assert alt_streamed == materialized, f"{backend} sink diverged: {label}"
+        assert alt_binary == ref_binary, f"{backend} binary sink diverged: {label}"
+        assert _binary_streamed_jsonl(alt_binary) == materialized, (
+            f"{backend} binary archive diverged from the JSONL oracle: {label}"
+        )
         if recovery is not None:
             assert alt.recovery.as_dict() == recovery.as_dict(), f"recovery diverged: {label}"
 

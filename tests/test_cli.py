@@ -373,6 +373,96 @@ class TestTraceOut:
         assert "activity" in capsys.readouterr().out
 
 
+class TestBinaryTraceCli:
+    """--trace-out format negotiation plus the check-trace subcommand."""
+
+    def _run_archive(self, tmp_path, name="run.rtb"):
+        path = tmp_path / name
+        assert main(["-a", "wreath", "-f", "ring", "--n", "24",
+                     "--trace-out", str(path)]) == 0
+        return path
+
+    def test_rtb_extension_writes_binary(self, capsys, tmp_path):
+        from repro.core import run_graph_to_wreath
+        from repro.engine import from_binary, load_trace
+        from repro.engine.tracebin import is_binary_trace
+        from repro.graphs import families
+
+        path = self._run_archive(tmp_path)
+        assert is_binary_trace(path)
+        res = run_graph_to_wreath(families.make("ring", 24), collect_trace=True)
+        assert from_binary(path).to_jsonl() == res.trace.to_jsonl()
+        assert load_trace(path).to_jsonl() == res.trace.to_jsonl()
+        # And measurably smaller than the JSONL twin.
+        assert path.stat().st_size < len(res.trace.to_jsonl())
+
+    def test_check_trace_green_archive(self, capsys, tmp_path):
+        path = self._run_archive(tmp_path)
+        assert main(["check-trace", str(path), "-a", "wreath", "-f", "ring",
+                     "--n", "24", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "offline audit" in out and "ok" in out
+
+    def test_check_trace_reads_jsonl_too(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["-a", "wreath", "-f", "ring", "--n", "24",
+                     "--trace-out", str(path)]) == 0
+        assert main(["check-trace", str(path), "-a", "wreath", "-f", "ring",
+                     "--n", "24"]) == 0
+
+    def test_check_trace_red_archive_exits_1(self, capsys, tmp_path):
+        import dataclasses
+
+        from repro.core import run_graph_to_wreath
+        from repro.engine import to_binary
+        from repro.engine.trace import Trace
+        from repro.graphs import families
+
+        res = run_graph_to_wreath(families.make("ring", 24), collect_trace=True)
+        bad = Trace(records=[
+            dataclasses.replace(r, active_edges=r.active_edges + 1)
+            for r in res.trace.records
+        ])
+        path = tmp_path / "bad.rtb"
+        to_binary(bad, path)
+        assert main(["check-trace", str(path), "-a", "wreath", "-f", "ring",
+                     "--n", "24"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_trace_corrupt_archive_exits_2(self, capsys, tmp_path):
+        path = self._run_archive(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[20] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert main(["check-trace", str(path), "-a", "wreath", "-f", "ring",
+                     "--n", "24"]) == 2
+        assert "segment" in capsys.readouterr().err
+
+    def test_check_trace_restart_baselines(self, capsys, tmp_path):
+        path = self._run_archive(tmp_path)
+        assert main(["check-trace", str(path), "-a", "wreath", "-f", "ring",
+                     "--n", "24", "--baselines", "restart"]) == 0
+
+    def test_sweep_trace_out_template_writes_per_cell(self, capsys, tmp_path):
+        from repro.engine import load_trace
+
+        template = str(tmp_path / "{algorithm}-{family}-{n}.rtb")
+        assert main(["sweep", "-a", "star", "-f", "ring,line",
+                     "--sizes", "16", "--trace-out", template,
+                     "--quiet"]) == 0
+        for family in ("ring", "line"):
+            path = tmp_path / f"star-{family}-16.rtb"
+            assert path.exists(), family
+            assert len(load_trace(path)) > 0
+
+    def test_sweep_trace_out_clashing_template_exits_2(self, capsys, tmp_path):
+        template = str(tmp_path / "all.rtb")
+        assert main(["sweep", "-a", "star", "-f", "ring,line",
+                     "--sizes", "16", "--trace-out", template,
+                     "--quiet"]) == 2
+        assert "cells onto" in capsys.readouterr().err
+
+
 class TestSweepTier:
     def test_large_tier_grid_is_registry_derived(self, capsys):
         # Override sizes to keep the test fast; the tier supplies the

@@ -69,3 +69,82 @@ def test_streamed_wreath_4096_peak_rss_bounded(tmp_path):
     )
     # The streamed file holds the complete trace all the same.
     assert sum(1 for _ in open(out)) == rounds
+
+
+_BINARY_CHILD = r"""
+import resource
+import sys
+
+from repro.core import run_graph_to_wreath
+from repro.engine import BinarySink
+from repro.graphs import families
+
+n = int(sys.argv[1])
+out = sys.argv[2]
+
+with BinarySink(out) as sink:
+    result = run_graph_to_wreath(
+        families.make("ring", n), observers=[sink], backend="dense"
+    )
+
+peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(f"rounds={result.rounds} frames={sink.frames} peak_kib={peak_kib}")
+"""
+
+_READER_CHILD = r"""
+import resource
+import sys
+
+from repro.engine import BinaryTraceReader
+from repro.engine.trace import RoundRecord
+
+path = sys.argv[1]
+
+with BinaryTraceReader(path) as reader:
+    rounds = sum(1 for rec in reader if isinstance(rec, RoundRecord))
+    assert rounds == reader.n_rounds
+
+peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(f"rounds={rounds} peak_kib={peak_kib}")
+"""
+
+
+@pytest.mark.slow
+def test_binary_sink_and_reader_4096_peak_rss_bounded(tmp_path):
+    """The binary twin of the JSONL guard, both directions: a streamed
+    ``.rtb`` write holds the same ceiling as the JsonlSink, and the
+    offset-seekable reader streams the archive back without ever
+    materializing it (one decompression block at a time)."""
+    out = tmp_path / "wreath-4096.rtb"
+    proc = subprocess.run(
+        [sys.executable, "-c", _BINARY_CHILD, "4096", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=1200,
+    )
+    assert proc.returncode == 0, proc.stderr
+    stats = dict(pair.split("=") for pair in proc.stdout.split() if "=" in pair)
+    rounds = int(stats["rounds"])
+    peak_mib = int(stats["peak_kib"]) / 1024
+    assert rounds > 500, "unexpectedly short run; weak guard"
+    assert int(stats["frames"]) == rounds
+    assert peak_mib < RSS_CEILING_MIB, (
+        f"streamed n=4096 wreath (.rtb) peaked at {peak_mib:.0f} MiB "
+        f"(ceiling {RSS_CEILING_MIB} MiB): the trace is being buffered"
+    )
+
+    proc = subprocess.run(
+        [sys.executable, "-c", _READER_CHILD, str(out)],
+        capture_output=True,
+        text=True,
+        timeout=1200,
+    )
+    assert proc.returncode == 0, proc.stderr
+    stats = dict(pair.split("=") for pair in proc.stdout.split() if "=" in pair)
+    assert int(stats["rounds"]) == rounds
+    reader_mib = int(stats["peak_kib"]) / 1024
+    assert reader_mib < RSS_CEILING_MIB, (
+        f"seekable reader peaked at {reader_mib:.0f} MiB reading the "
+        f"n=4096 archive (ceiling {RSS_CEILING_MIB} MiB): segments are "
+        f"being materialized"
+    )

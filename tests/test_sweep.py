@@ -337,9 +337,10 @@ class TestResumableSweeps:
         executed = []
         real = sweep_mod._execute_cell
 
-        def counting(cell, spec, kwargs, check=False, profile=False, heartbeat_s=0.0):
+        def counting(cell, spec, kwargs, check=False, profile=False,
+                     heartbeat_s=0.0, trace_out=None):
             executed.append(cell)
-            return real(cell, spec, kwargs, check, profile, heartbeat_s)
+            return real(cell, spec, kwargs, check, profile, heartbeat_s, trace_out)
 
         monkeypatch.setattr(sweep_mod, "_execute_cell", counting)
         plan.run(resume_dir=tmp_path / "cache")
@@ -474,9 +475,10 @@ class TestResumableSweeps:
         executed = []
         real = sweep_mod._execute_cell
 
-        def counting(cell, spec, kwargs, check=False, profile=False, heartbeat_s=0.0):
+        def counting(cell, spec, kwargs, check=False, profile=False,
+                     heartbeat_s=0.0, trace_out=None):
             executed.append(cell)
-            return real(cell, spec, kwargs, check, profile, heartbeat_s)
+            return real(cell, spec, kwargs, check, profile, heartbeat_s, trace_out)
 
         monkeypatch.setattr(sweep_mod, "_execute_cell", counting)
         changed = SweepPlan.grid(
@@ -598,9 +600,10 @@ class TestProfiledSweeps:
         executed = []
         real = sweep_mod._execute_cell
 
-        def counting(cell, spec, kwargs, check=False, profile=False, heartbeat_s=0.0):
+        def counting(cell, spec, kwargs, check=False, profile=False,
+                     heartbeat_s=0.0, trace_out=None):
             executed.append(cell)
-            return real(cell, spec, kwargs, check, profile, heartbeat_s)
+            return real(cell, spec, kwargs, check, profile, heartbeat_s, trace_out)
 
         sweep_mod._execute_cell = counting
         try:

@@ -464,3 +464,63 @@ class TestBenchSchema:
             read_bench(path)
         merged = merge_bench(path, self._rows())  # starts fresh, no raise
         assert len(merged) == 2
+
+
+class TestPeakRss:
+    """Regression: ``ru_maxrss`` is KiB on Linux but *bytes* on macOS,
+    and the old ``_rss_kb`` returned the raw reading everywhere — a
+    1024x overreport in every profile and sweep column off-Linux."""
+
+    class _Usage:
+        ru_maxrss = 524_288  # 512 MiB in bytes, 512 GiB-looking in KiB
+
+    def test_macos_reading_is_normalized_to_kib(self, monkeypatch):
+        import sys
+
+        from repro.telemetry import observer
+
+        monkeypatch.setattr(observer.resource, "getrusage", lambda who: self._Usage)
+        monkeypatch.setattr(sys, "platform", "darwin")
+        assert observer.peak_rss_kb() == 512
+
+    def test_linux_reading_passes_through(self, monkeypatch):
+        import sys
+
+        from repro.telemetry import observer
+
+        monkeypatch.setattr(observer.resource, "getrusage", lambda who: self._Usage)
+        monkeypatch.setattr(sys, "platform", "linux")
+        assert observer.peak_rss_kb() == 524_288
+
+    def test_private_alias_survives(self):
+        from repro.telemetry import observer
+
+        assert observer._rss_kb is observer.peak_rss_kb
+        assert observer.peak_rss_kb() > 0
+
+
+class TestSweepTotals:
+    """Regression: the xlarge sweep gate recorded a BENCH row with null
+    rounds/activations; the paper measures are summed from the sweep
+    rows instead."""
+
+    def test_sums_rounds_and_activations(self):
+        from repro.telemetry.bench import sweep_totals
+
+        rows = [
+            {"rounds": 10, "total_activations": 100, "n": 8},
+            {"rounds": 5, "total_activations": 50, "n": 8},
+        ]
+        assert sweep_totals(rows) == (15, 150)
+
+    def test_null_rows_still_tolerated_by_compat_reader(self, tmp_path):
+        # A pre-fix archive row with explicit nulls must keep loading.
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": BENCH_SCHEMA,
+            "rows": [{"scenario": "sweep-xlarge", "n": 100000, "backend": "bulk",
+                      "wall_ms": 1.0, "peak_rss_kb": None, "rounds": None,
+                      "activations": None, "phases": None, "provenance": None}],
+        }))
+        (row,) = read_bench(path)
+        assert row["rounds"] is None and row["activations"] is None

@@ -62,6 +62,25 @@ class TestRoundTrip:
         back = roundtrip(Trace())
         assert back.records == [] and back.perturbations == []
 
+    def test_mixed_int_str_labels_serialize(self):
+        """Regression: ``to_jsonl`` crashed with TypeError when a round's
+        effective set mixed int and str uids (legal per the JSONL
+        contract), because ``sorted()`` can't compare them.  The shared
+        canonical order now falls back to type-aware keys."""
+        payload = (
+            '{"type": "round", "round": 0, "activations": [[1, "a"], [1, 2]],'
+            ' "deactivations": [], "active_edges": 2, "activated_edges": 2,'
+            ' "connected": true, "barrier_epoch": 0}\n'
+        )
+        trace = Trace.from_jsonl(payload)
+        out = trace.to_jsonl()  # raised TypeError before the fix
+        assert Trace.from_jsonl(out).records == trace.records
+        # Comparable labels keep the historical plain-sort order, so
+        # existing archives stay byte-stable.
+        res = run_graph_to_star(graphs.make("ring", 12), collect_trace=True)
+        again = Trace.from_jsonl(res.trace.to_jsonl())
+        assert again.to_jsonl() == res.trace.to_jsonl()
+
     def test_payload_is_deterministic_jsonl(self):
         res = run_graph_to_star(graphs.make("ring", 12), collect_trace=True)
         a = res.trace.to_jsonl()
@@ -141,6 +160,20 @@ class TestMalformedInput:
     def test_unreadable_path_is_trace_error(self, tmp_path):
         with pytest.raises(TraceError, match="cannot read trace file"):
             Trace.from_jsonl(tmp_path / "nope.jsonl")
+
+    def test_existing_file_named_like_json_is_read_as_a_path(self, tmp_path, monkeypatch):
+        """Regression: a single-line path string *starting with* ``{``
+        (e.g. a relative templated name like ``{run}.jsonl``) was
+        misrouted into the payload parser instead of ``open()``.  An
+        existing file always wins; payload parsing is the fallback."""
+        trace = run_graph_to_star(graphs.make("ring", 8), collect_trace=True).trace
+        monkeypatch.chdir(tmp_path)
+        trace.to_jsonl(tmp_path / "{run}.jsonl")
+        back = Trace.from_jsonl("{run}.jsonl")  # parsed the *name* before the fix
+        assert back.records == trace.records
+        # Inline payloads (which contain newlines, or name no existing
+        # file) still parse as payloads.
+        assert Trace.from_jsonl(trace.to_jsonl()).records == trace.records
 
     def test_valid_prefix_roundtrips(self):
         for k in (0, 1, len(VALID_LINES) // 2, len(VALID_LINES)):
