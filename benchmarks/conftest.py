@@ -59,9 +59,12 @@ def peak_rss_kb() -> int:
 def bench_engine():
     """Record one BENCH_engine.json row, keyed by (scenario, n, backend).
 
-    ``rounds``/``activations``/``phases`` are optional (None when the
-    measurement cannot separate them, e.g. combined sweep walls); the
-    provenance stamp is always attached here.
+    ``rounds``/``activations``/``phases`` are optional.  Scenario runs
+    on kernel-covered families stamp ``phases`` from the telemetry
+    profile (PR 7); rows whose measurement has no per-phase engine wall
+    to separate — combined sweep totals, serialization benchmarks —
+    keep it None rather than fabricate one.  The provenance stamp is
+    always attached here.
     """
 
     def add(

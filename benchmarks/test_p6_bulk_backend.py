@@ -31,6 +31,7 @@ import pytest
 
 from repro.core import run_graph_to_wreath
 from repro.graphs import families
+from repro.telemetry import TelemetryObserver
 
 #: Dense wall seconds for GraphToWreath increasing_ring n=8192 on the
 #: reference machine.  A recorded constant, not a fresh measurement: the
@@ -99,9 +100,12 @@ def test_p6_wreath_anchor_gate(experiment_rows, bench_engine):
 
     graph = families.make(ANCHOR_FAMILY, ANCHOR_N)
     result = {}
+    telemetry = TelemetryObserver()
 
     def run():
-        result["res"] = run_graph_to_wreath(graph, backend="bulk")
+        result["res"] = run_graph_to_wreath(
+            graph, backend="bulk", observers=[telemetry]
+        )
 
     wall = _wall(run)
     rounds = result["res"].metrics.rounds
@@ -114,6 +118,7 @@ def test_p6_wreath_anchor_gate(experiment_rows, bench_engine):
     bench_engine(
         "wreath", ANCHOR_N, "bulk", wall * 1e3,
         rounds=rounds, activations=result["res"].metrics.total_activations,
+        phases=telemetry.profile().phases,
     )
     assert wall * 10 < DENSE_ANCHOR_S, (
         f"bulk wreath n={ANCHOR_N} took {wall:.1f} s over {rounds} rounds — "
@@ -122,15 +127,21 @@ def test_p6_wreath_anchor_gate(experiment_rows, bench_engine):
 
 
 _XLARGE_SMOKE = """\
-import resource, time
+import json, resource, time
 from repro.core import run_graph_to_star
 from repro.graphs import families
+from repro.telemetry import TelemetryObserver
 g = families.make("ring", {n})
+telemetry = TelemetryObserver()
 t0 = time.perf_counter()
-r = run_graph_to_star(g, backend="bulk")
+r = run_graph_to_star(g, backend="bulk", observers=[telemetry])
 wall = time.perf_counter() - t0
 rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-print(wall, rss, r.metrics.rounds, r.metrics.total_activations)
+print(json.dumps({{
+    "wall_s": wall, "rss_kb": rss, "rounds": r.metrics.rounds,
+    "activations": r.metrics.total_activations,
+    "phases": telemetry.profile().phases,
+}}))
 """
 
 
@@ -144,17 +155,18 @@ def test_p6_xlarge_star_smoke(experiment_rows, bench_engine):
         capture_output=True, text=True, env=env, timeout=2 * XLARGE_WALL_CEILING_S,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
-    wall_s, rss_kb, rounds, activations = proc.stdout.split()
-    wall_s, rss_kb = float(wall_s), int(rss_kb)
+    row = json.loads(proc.stdout)
+    wall_s, rss_kb = row["wall_s"], row["rss_kb"]
     experiment_rows(
         "P6 bulk backend",
         {"workload": f"GraphToStar ring n={XLARGE_N}",
          "dense_ms": "-", "bulk_ms": round(wall_s * 1e3, 1),
-         "speedup": f"rounds={rounds} rss={rss_kb // 1024}MB"},
+         "speedup": f"rounds={row['rounds']} rss={rss_kb // 1024}MB"},
     )
     bench_engine(
         "star", XLARGE_N, "bulk", wall_s * 1e3, rss_kb=rss_kb,
-        rounds=int(rounds), activations=int(activations),
+        rounds=row["rounds"], activations=row["activations"],
+        phases=row["phases"],
     )
     assert wall_s < XLARGE_WALL_CEILING_S, f"xlarge star took {wall_s:.0f} s"
     assert rss_kb < XLARGE_RSS_CEILING_KB, f"xlarge star peaked at {rss_kb} KiB"

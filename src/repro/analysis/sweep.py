@@ -212,6 +212,10 @@ def _execute_cell(
         telemetry = TelemetryObserver(
             heartbeat_every=1 if heartbeat_s > 0 else 0,
             heartbeat_min_interval_s=heartbeat_s,
+            # Second gate for microsecond-round cells (n = 10^6 tiers):
+            # a line additionally needs 32 rounds of progress, so a
+            # misconfigured or loose wall throttle can never flood.
+            heartbeat_min_rounds=32 if heartbeat_s > 0 else 0,
             heartbeat_label=f"{cell.algorithm}/{cell.family} n={cell.n}",
         )
         kwargs["observers"] = [*kwargs.get("observers", ()), telemetry]

@@ -86,6 +86,28 @@ SWEEP_TIERS: dict = {
         "backend": "bulk",
         "heartbeat": True,
     },
+    # The ``xxlarge`` tier (PR 9) pushes to n = 10^6.  At this scale
+    # even the sparse per-node paths are too slow; only scenarios whose
+    # whole rounds execute as array dispatches (the derived ``kernel``
+    # capability) and that keep sub-quadratic state qualify — today
+    # that is GraphToStar on the star dense-phase kernel.  Budget on
+    # the 1-CPU reference machine: ~30s build + ~4 min run, ~5 GB RSS
+    # (see BENCH_engine.json and the CI xxlarge smoke ceilings).
+    "xxlarge": {
+        "algorithms": lambda: [
+            spec.name
+            for spec in scenarios()
+            if spec.kind in ("distributed", "composition")
+            and spec.supports_bulk
+            and spec.kernel_level() == "kernel"
+            and "rounds:log" in spec.invariants
+            and not spec.quadratic_state
+        ],
+        "families": ["ring"],
+        "sizes": [1_000_000],
+        "backend": "bulk",
+        "heartbeat": True,
+    },
 }
 
 #: Backward-compatible map ``name -> (description, runner)``, derived
@@ -494,6 +516,7 @@ def main(argv=None) -> int:
     if args.profile or args.profile_out:
         telemetry = TelemetryObserver(
             heartbeat_every=1, heartbeat_min_interval_s=10.0,
+            heartbeat_min_rounds=32,
             heartbeat_label=f"{args.algorithm}/{args.family} n={args.n}",
         )
         observers.append(telemetry)

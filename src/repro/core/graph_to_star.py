@@ -33,6 +33,7 @@ from __future__ import annotations
 import networkx as nx
 
 from ..engine import NodeProgram, PhaseKernel, RunResult, SynchronousRunner
+from ..engine.actions import RoundActions
 from .modes import Mode
 
 PHASE_LEN = 5
@@ -111,10 +112,471 @@ class StarPhaseKernel(PhaseKernel):
         return next_round if pos == 2 else next_round + ((2 - pos) % PHASE_LEN)
 
 
+class StarDenseKernel(StarPhaseKernel):
+    """Whole-round array semantics of GraphToStar (dense-activity kernel).
+
+    GraphToStar's phases are *dense*: committees are stars, so a single
+    leader decision fans out to every member, and in early phases almost
+    every node senses, reports, and re-reads its leader each round —
+    parking buys nothing.  This kernel executes the whole 5-round phase
+    logic as vectorized passes over struct-of-arrays program state, with
+    the per-node :class:`GraphToStarProgram` methods remaining the
+    source of truth on the reference/dense backends:
+
+    * committee membership is the ``cid`` array itself (leader of
+      committee ``c`` is node ``c``, a paper invariant);
+    * the boundary adjacency is kept as parallel directed ``(src, dst)``
+      edge arrays, maintained incrementally from each round's effective
+      action sets (:meth:`apply_effective`);
+    * the r2 candidate selection is one masked lexicographic reduction
+      over the phase's sensed boundary entries — sort by (committee,
+      candidate cid, preference key) and keep each committee's last row;
+    * leader-rebind fan-out (r0 mode copies, r2 transfers, termination)
+      are fancy-indexed gather/scatter passes over the public plane.
+
+    The kernel produces the exact per-actor action-request multiset the
+    per-node programs would issue; the runner pushes it through the
+    network's legality pipeline and the metrics recorder unchanged, so
+    traces and metrics stay byte-identical by construction (the
+    differential harness and the hypothesis lockstep suite are the
+    oracle).  Reads assume the execution is legal — the per-node
+    backends are where protocol violations of hand-written programs get
+    diagnosed.
+    """
+
+    produces_actions = True
+
+    state_fields = (
+        ("cid", "int64[n]", "committee id (== leader uid)"),
+        ("leader", "bool[n]", "node currently leads its committee"),
+        ("mode", "int8[n]", "committee mode code (leader-held)"),
+        ("mtgt", "int64[n]", "merge target (-1: none)"),
+        ("plink", "int64[n]", "pulling parent link (-1: none)"),
+        ("llp/llt", "int64[n]", "last leader-edge (phase, target)"),
+        ("tlink", "int64[n]", "current attachment (-1: none)"),
+        ("p_*", "mirrors", "public plane as of each node's last refresh"),
+        ("src/dst", "int64[2E]", "directed active-edge arrays"),
+        ("ent_*", "int64[B]", "r1-sensed boundary entries (r2 reduction)"),
+    )
+
+    #: Mode codes used inside the packed arrays (finalize maps back).
+    _MODES = (Mode.SELECTION, Mode.MERGING, Mode.PULLING, Mode.WAITING, Mode.TERMINATION)
+    _SEL, _MRG, _PUL, _WAI, _TER = range(5)
+
+    def accepts(self, runner) -> bool:
+        net = runner.network
+        return bool(net._identity) and len(runner._uids) == net.n
+
+    def init_state(self, runner):
+        import numpy as np
+
+        net = runner.network
+        n = net.n
+        deg = np.fromiter((len(s) for s in net._iadj), dtype=np.int64, count=n)
+        m = int(deg.sum())
+        src = np.repeat(np.arange(n, dtype=np.int64), deg)
+        dst = np.fromiter((j for s in net._iadj for j in s), dtype=np.int64, count=m)
+        orig = np.fromiter(net._orig_pairs, dtype=np.int64, count=len(net._orig_pairs))
+        orig.sort()
+        idx = np.arange(n, dtype=np.int64)
+        none = np.full(n, -1, dtype=np.int64)
+        st = {
+            "n": n,
+            "net": net,
+            "src": src,
+            "dst": dst,
+            "orig": orig,
+            "actions": RoundActions(),
+            # program state: every node starts as a singleton leader
+            "cid": idx.copy(),
+            "leader": np.ones(n, dtype=bool),
+            "mode": np.zeros(n, dtype=np.int8),
+            "mtgt": none.copy(),
+            "plink": none.copy(),
+            "llp": none.copy(),
+            "llt": none.copy(),
+            "tlink": none.copy(),
+            "halted": np.zeros(n, dtype=bool),
+            # public plane (content as of each node's last refresh)
+            "p_cid": idx.copy(),
+            "p_leader": np.ones(n, dtype=bool),
+            "p_mode": np.zeros(n, dtype=np.int8),
+            "p_mtgt": none.copy(),
+            "p_llp": none.copy(),
+            "p_llt": none.copy(),
+            "p_tlink": none.copy(),
+            # per-phase leader scratch
+            "sel": none.copy(),
+            "act1": none.copy(),
+            "act1_done": np.zeros(n, dtype=bool),
+            "jump": none.copy(),
+            "defer": np.zeros(n, dtype=bool),
+            "fexists": np.zeros(n, dtype=bool),
+            # r1 -> r2 carry: sensed boundary entries + reporter flags
+            "ent_owner": idx[:0],
+            "ent_x": idx[:0],
+            "ent_y": idx[:0],
+            "ent_c": idx[:0],
+            "ent_m": np.zeros(0, dtype=np.int8),
+            "has_foreign": np.zeros(n, dtype=bool),
+        }
+        return st
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def _publish(st, rows) -> None:
+        """The batched equivalent of ``_refresh_public`` for ``rows``."""
+        for f in ("cid", "leader", "mode", "mtgt", "llp", "llt", "tlink"):
+            st["p_" + f][rows] = st[f][rows]
+
+    @staticmethod
+    def _orig_edge(st, u, v):
+        """Vectorized ``is_original`` over uid arrays (identity interning)."""
+        import numpy as np
+
+        orig = st["orig"]
+        if not len(orig):
+            return np.zeros(len(u), dtype=bool)
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        key = (lo << 32) | hi
+        pos = np.searchsorted(orig, key).clip(max=len(orig) - 1)
+        return orig[pos] == key
+
+    # -- the round dispatch ------------------------------------------------
+
+    def step_round(self, state, round_no: int):
+        phase, pos = StarPhaseKernel.phase_of(round_no)
+        actions = state["actions"]
+        actions.clear()
+        halted: list = []
+        if pos == 0:
+            self._round0(state)
+        elif pos == 1:
+            self._round1(state, phase)
+        elif pos == 2:
+            self._round2(state, phase, actions)
+        elif pos == 3:
+            self._round3(state, phase, actions)
+        else:
+            halted = self._round4(state, phase)
+        return halted, actions
+
+    @staticmethod
+    def _round0(st) -> None:
+        """r0: followers copy the leader's mode; leaders reset scratch."""
+        import numpy as np
+
+        live = ~st["halted"]
+        leader = st["leader"]
+        fol = np.nonzero(live & ~leader)[0]
+        if len(fol):
+            lead = st["cid"][fol]
+            st["mode"][fol] = st["p_mode"][lead]
+            st["mtgt"][fol] = st["p_mtgt"][lead]
+            StarDenseKernel._publish(st, fol)
+        led = np.nonzero(live & leader)[0]
+        if len(led):
+            st["sel"][led] = -1
+            st["act1"][led] = -1
+            st["act1_done"][led] = False
+            st["jump"][led] = -1
+            st["defer"][led] = False
+            st["fexists"][led] = False
+
+    @staticmethod
+    def _round1(st, phase: int) -> None:
+        """r1: sense foreign committees; merging/pulling re-validation."""
+        import numpy as np
+
+        K = StarDenseKernel
+        live = ~st["halted"]
+        leader = st["leader"]
+        cid = st["cid"]
+        mode = st["mode"]
+        src, dst = st["src"], st["dst"]
+        p_cid, p_mode = st["p_cid"], st["p_mode"]
+        p_leader, p_mtgt = st["p_leader"], st["p_mtgt"]
+        p_llp, p_llt = st["p_llp"], st["p_llt"]
+
+        rows = np.nonzero(live[src] & (p_cid[dst] != cid[src]))[0]
+        ex, ey = src[rows], dst[rows]
+        st["ent_x"], st["ent_y"] = ex, ey
+        st["ent_owner"] = cid[ex]
+        st["ent_c"] = p_cid[ey]
+        st["ent_m"] = p_mode[ey]
+        hasf = np.zeros(st["n"], dtype=bool)
+        hasf[ex] = True
+        st["has_foreign"] = hasf
+        ldr = live & leader
+        st["fexists"][ldr] = hasf[ldr]
+
+        mrg = np.nonzero(ldr & (mode == K._MRG))[0]
+        pul = np.nonzero(ldr & (mode == K._PUL))[0]
+        if len(mrg):
+            t = st["mtgt"][mrg]
+            dis = ~p_leader[t]
+            tm = ~dis & (p_mode[t] == K._MRG)
+            st["jump"][mrg[dis]] = p_cid[t[dis]]
+            st["jump"][mrg[tm]] = p_mtgt[t[tm]]
+            moved = mrg[dis | tm]
+            if len(moved):
+                st["plink"][moved] = st["mtgt"][moved]
+                st["mtgt"][moved] = -1
+                mode[moved] = K._PUL
+        if len(pul):
+            p = st["plink"][pul]
+            c1 = ~p_leader[p]
+            c2 = ~c1 & (p_mode[p] == K._MRG)
+            c3 = ~c1 & ~c2 & (p_llp[p] != -1) & (p_llp[p] == phase - 1)
+            st["jump"][pul[c1]] = p_cid[p[c1]]
+            st["jump"][pul[c2]] = p_mtgt[p[c2]]
+            st["jump"][pul[c3]] = p_llt[p[c3]]
+            st["defer"][pul[~(c1 | c2 | c3)]] = True
+        K._publish(st, np.nonzero(ldr)[0])
+
+    @staticmethod
+    def _round2(st, phase: int, actions) -> None:
+        """r2: reports + candidate selection + first hop; merge transfer;
+        pulling jump; termination fan-out."""
+        import numpy as np
+
+        K = StarDenseKernel
+        n = st["n"]
+        live = ~st["halted"]
+        leader = st["leader"]
+        cid = st["cid"]
+        mode = st["mode"]
+        src, dst = st["src"], st["dst"]
+        p_mode, p_mtgt = st["p_mode"], st["p_mtgt"]
+
+        # --- start-of-round reads (before any state mutation) ---------
+        hle = np.zeros(n, dtype=bool)  # node still has its leader edge
+        if len(src):
+            hle[src[dst == cid[src]]] = True
+        fol_rows = np.nonzero(live & ~leader)[0]
+        lead = cid[fol_rows]
+        lmode = p_mode[lead]
+        mg = fol_rows[lmode == K._MRG]  # transferring followers
+        mg_t = p_mtgt[lead[lmode == K._MRG]]
+        mg_old = cid[mg]
+        mg_keep = K._orig_edge(st, mg, mg_old)
+        tf = fol_rows[lmode == K._TER]  # terminating followers
+        t_u = t_v = src[:0]
+        if len(tf):
+            tfm = np.zeros(n, dtype=bool)
+            tfm[tf] = True
+            trows = np.nonzero(tfm[src] & (dst != cid[src]))[0]
+            t_u, t_v = src[trows], dst[trows]
+
+        # --- the selection reduction over the sensed boundary ----------
+        selmask = live & leader & (mode == K._SEL)
+        repmask = np.zeros(n, dtype=bool)
+        repmask[fol_rows] = (
+            st["has_foreign"][fol_rows]
+            & hle[fol_rows]
+            & ((lmode == K._SEL) | (lmode == K._WAI))
+        )
+        ent_o, ent_x, ent_y = st["ent_owner"], st["ent_x"], st["ent_y"]
+        ent_c, ent_m = st["ent_c"], st["ent_m"]
+        own = ent_o == ent_x
+        incl = selmask[ent_o] & (own | repmask[ent_x])
+        st["fexists"][ent_o[incl]] = True
+        fil = np.nonzero(incl & (ent_c > ent_o) & (ent_m != K._PUL))[0]
+        sel_L = sel_c = sel_y = src[:0]
+        if len(fil):
+            o, c, y, x = ent_o[fil], ent_c[fil], ent_y[fil], ent_x[fil]
+            key = ((x == o).astype(np.int64) << 62) | (x << 31) | y
+            order = np.lexsort((key, c, o))
+            o, c, y = o[order], c[order], y[order]
+            last = np.ones(len(o), dtype=bool)
+            last[:-1] = o[:-1] != o[1:]
+            sel_L, sel_c, sel_y = o[last], c[last], y[last]
+
+        pj = np.nonzero(live & leader & (mode == K._PUL) & (st["jump"] != -1))[0]
+        pj_t = st["jump"][pj]
+        pj_p = st["plink"][pj]
+        pj_orig = K._orig_edge(st, pj, pj_p)
+        md = np.nonzero(live & leader & (mode == K._MRG))[0]
+
+        # --- emit the raw requests (per-node order preserved) ----------
+        act = actions.activations.append
+        dea = actions.deactivations.append
+        iadj = st["net"]._iadj
+        for u, t, old, keep in zip(
+            mg.tolist(), mg_t.tolist(), mg_old.tolist(), mg_keep.tolist()
+        ):
+            act((u, u, t))
+            if not keep:
+                dea((u, u, old))
+        for u, v in zip(t_u.tolist(), t_v.tolist()):
+            dea((u, u, v))
+        act1_done = st["act1_done"]
+        for L, yy in zip(sel_L.tolist(), sel_y.tolist()):
+            if yy not in iadj[L]:
+                act((L, L, yy))
+                act1_done[L] = True
+        for L, t, p, is_orig in zip(
+            pj.tolist(), pj_t.tolist(), pj_p.tolist(), pj_orig.tolist()
+        ):
+            act((L, L, t))
+            if p in iadj[L] and not is_orig:
+                dea((L, L, p))
+
+        # --- state updates ---------------------------------------------
+        cid[mg] = mg_t
+        mode[mg] = K._WAI
+        mode[tf] = K._TER
+        st["sel"][sel_L] = sel_c
+        st["act1"][sel_L] = sel_y
+        st["plink"][pj] = pj_t
+        st["tlink"][pj] = pj_t
+        st["llp"][pj] = phase
+        st["llt"][pj] = pj_t
+        cid[md] = st["mtgt"][md]
+        st["leader"][md] = False
+        mode[md] = K._WAI
+        st["mtgt"][md] = -1
+        st["tlink"][md] = -1
+        K._publish(st, np.nonzero(live)[0])
+
+    @staticmethod
+    def _round3(st, phase: int, actions) -> None:
+        """r3: the leader-to-leader edge, re-targeted through the gateway."""
+        import numpy as np
+
+        K = StarDenseKernel
+        live = ~st["halted"]
+        g = np.nonzero(
+            live & st["leader"] & (st["mode"] == K._SEL) & (st["sel"] != -1)
+        )[0]
+        if len(g):
+            y = st["act1"][g]
+            t = st["p_cid"][y]
+            ok = t != g
+            rows, yk, tk = g[ok], y[ok], t[ok]
+            is_orig = K._orig_edge(st, rows, yk)
+            act = actions.activations.append
+            dea = actions.deactivations.append
+            a1d = st["act1_done"]
+            for L, yy, tt, o in zip(
+                rows.tolist(), yk.tolist(), tk.tolist(), is_orig.tolist()
+            ):
+                if tt != yy:
+                    act((L, L, tt))
+                if a1d[L] and yy != tt and not o:
+                    dea((L, L, yy))
+            st["sel"][rows] = tk
+            st["tlink"][rows] = tk
+            st["llp"][rows] = phase
+            st["llt"][rows] = tk
+        K._publish(st, np.nonzero(live & st["leader"])[0])
+
+    @staticmethod
+    def _round4(st, phase: int) -> list:
+        """r4: outcome observation, mode transitions, the halting wave."""
+        import numpy as np
+
+        K = StarDenseKernel
+        n = st["n"]
+        live = ~st["halted"]
+        leader = st["leader"]
+        mode = st["mode"]
+        mode0 = mode.copy()
+        cid = st["cid"]
+        src, dst = st["src"], st["dst"]
+        p_leader, p_tlink = st["p_leader"], st["p_tlink"]
+        p_cid, p_llp = st["p_cid"], st["p_llp"]
+
+        hc = np.zeros(n, dtype=bool)  # has a foreign leader child
+        if len(src):
+            cond = p_leader[dst] & (p_tlink[dst] == src) & (p_cid[dst] != cid[src])
+            hc[src[cond]] = True
+
+        ldr = live & leader
+        sel = st["sel"]
+        s = ldr & (mode0 == K._SEL)
+        sA = np.nonzero(s & (sel != -1))[0]
+        if len(sA):
+            t = sel[sA]
+            ispull = (p_llp[t] != -1) & (p_llp[t] == phase)
+            a, b = sA[ispull], sA[~ispull]
+            mode[a] = K._PUL
+            st["plink"][a] = sel[a]
+            mode[b] = K._MRG
+            st["mtgt"][b] = sel[b]
+        sB = s & (sel == -1)
+        mode[sB & hc] = K._WAI
+        mode[sB & ~hc & ~st["fexists"]] = K._TER
+        pd = np.nonzero(ldr & (mode0 == K._PUL) & st["defer"])[0]
+        if len(pd):
+            mode[pd] = K._MRG
+            st["mtgt"][pd] = st["plink"][pd]
+            st["plink"][pd] = -1
+            st["tlink"][pd] = st["mtgt"][pd]
+        w = ldr & (mode0 == K._WAI) & ~hc
+        mode[w & st["fexists"]] = K._SEL
+        mode[w & ~st["fexists"]] = K._TER
+
+        halt_rows = np.nonzero(live & (mode0 == K._TER))[0]
+        st["halted"][halt_rows] = True
+        K._publish(st, np.nonzero(ldr)[0])
+        return halt_rows.tolist()
+
+    def apply_effective(self, state, activations, deactivations) -> None:
+        import numpy as np
+
+        src, dst = state["src"], state["dst"]
+        if activations:
+            m = len(activations)
+            au = np.fromiter((e[0] for e in activations), dtype=np.int64, count=m)
+            av = np.fromiter((e[1] for e in activations), dtype=np.int64, count=m)
+            src = np.concatenate([src, au, av])
+            dst = np.concatenate([dst, av, au])
+        if deactivations:
+            m = len(deactivations)
+            du = np.fromiter((e[0] for e in deactivations), dtype=np.int64, count=m)
+            dv = np.fromiter((e[1] for e in deactivations), dtype=np.int64, count=m)
+            rem = np.concatenate([(du << 32) | dv, (dv << 32) | du])
+            rem.sort()
+            pk = (src << 32) | dst
+            pos = np.searchsorted(rem, pk).clip(max=len(rem) - 1)
+            keep = rem[pos] != pk
+            src, dst = src[keep], dst[keep]
+        state["src"], state["dst"] = src, dst
+
+    def finalize(self, state, runner) -> None:
+        modes = self._MODES
+        programs = runner.programs
+        publics = runner._publics
+        cid, leader = state["cid"], state["leader"]
+        mode, mtgt = state["mode"], state["mtgt"]
+        plink, tlink = state["plink"], state["tlink"]
+        llp, llt = state["llp"], state["llt"]
+        halted = state["halted"]
+        for i, uid in enumerate(runner.network._uid_of):
+            prog = programs[uid]
+            prog.cid = int(cid[i])
+            prog.is_leader = bool(leader[i])
+            prog.mode = modes[mode[i]]
+            prog.merge_target = None if mtgt[i] < 0 else int(mtgt[i])
+            prog.parent_link = None if plink[i] < 0 else int(plink[i])
+            prog.last_link = None if llp[i] < 0 else (int(llp[i]), int(llt[i]))
+            prog.target_link = None if tlink[i] < 0 else int(tlink[i])
+            prog.status = "leader" if leader[i] else "follower"
+            prog._foreign = []
+            prog._reports = []
+            if halted[i] and not prog.halted:
+                prog.halt()
+            prog._refresh_public()
+            publics[uid] = prog.public()
+
+
 class GraphToStarProgram(NodeProgram):
     """One node of GraphToStar."""
 
-    phase_kernel = StarPhaseKernel()
+    phase_kernel = StarDenseKernel()
 
     #: Parked rounds are no-ops: r0 re-copies an unchanged leader record,
     #: r1 re-senses unchanged publics, r3 is leader-only, r4 only acts in

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from ..engine import NodeProgram, RunResult, SynchronousRunner
+from ..engine import NodeProgram, PhaseKernel, RunResult, SynchronousRunner
 from ..subroutines.line_to_kary import AsyncLineToKaryTreeProgram
 
 SEGMENTS = (
@@ -95,6 +95,9 @@ class _EmbeddedCtx:
     def neighbor_public(self, v):
         return self._ctx.neighbor_public(v)["l2t"] or _ASLEEP
 
+    def neighbor_publics(self):
+        return [(v, pub["l2t"] or _ASLEEP) for v, pub in self._ctx.neighbor_publics()]
+
     def activate(self, v):
         self._ctx.activate(v)
 
@@ -102,10 +105,83 @@ class _EmbeddedCtx:
         self._ctx.deactivate(v)
 
 
+class WreathSpliceKernel(PhaseKernel):
+    """Scheduling kernel for the splice-walk wreath families (Layer 1).
+
+    GraphToWreath is barrier-synchronized (DESIGN.md note 2), so whole
+    rounds can never collapse into one array dispatch the way the star
+    and flooding kernels do — the bulk backend's array path requires a
+    barrier-free run.  What *is* uniform at phase level is the wake
+    discipline of the nine fixed segments, and this kernel is its
+    declaration point: per segment, how many opening rounds every member
+    must run unconditionally (:attr:`SEG_FORCED`), with all later
+    progress driven by messages, neighbor-record rebinds, adjacency
+    changes, and three explicit in-segment schedules (stepping-stone
+    splices, the splice-commit countdown, and the embedded
+    line-to-tree program's three-beat cadence with its quiet-parking
+    certificate — see ``AsyncLineToKaryTreeProgram``).
+
+    ``GraphToWreathProgram.bulk_next_wake`` *is* the per-node evaluation
+    of this discipline; the cross-backend differential corpus holds it
+    to byte-identical traces against the per-round backends.
+    """
+
+    #: Forced opening rounds per segment (indexed like ``SEGMENTS``).
+    #: The barrier already wakes the whole fleet for each segment's
+    #: first round; entries above 1 cover the two decisions scheduled
+    #: on a fixed later beat with no message trigger — a childless
+    #: member flushes its attach list at segment round 2 (REQUEST) and
+    #: every participant scans neighbor records for its rebuilt-tree
+    #: children at segment round 2 (NEWCID).
+    SEG_FORCED = (1, 1, 2, 1, 1, 1, 1, 1, 2)
+
+    state_fields = (
+        ("segment", "int8[n]", "current segment index (0..8)"),
+        ("seg_start", "int64[n]", "anchor round of the current segment"),
+        ("wake", "int64[n]", "next unconditional wake round"),
+    )
+
+    #: The REBUILD segment — the run's dominant cost — additionally
+    #: executes as whole-round segment-array surgery on the bulk
+    #: backend; see :mod:`repro.core.rebuild_arrays`.
+    assist_rounds = True
+
+    def assist_round(self, runner, recorder, observers) -> bool:
+        sim = getattr(runner, "_wreath_assist", None)
+        if sim is not None and sim.epoch == runner.barrier_epoch:
+            if sim.next_round != runner.network.round:  # pragma: no cover
+                runner._wreath_assist = None
+                return False
+            sim.step_round(runner, recorder, observers)
+            return True
+        runner._wreath_assist = None
+        # Arm at most once per phase: from the REBUILD segment's third
+        # round on, the only activity is the embedded line-to-tree
+        # programs (no wreath messages in flight), which is exactly what
+        # the array simulation covers.  The O(n) precondition scan runs
+        # once — either it arms or the segment is already past it.
+        progs = runner._progs
+        p0 = progs[0]
+        if p0.segment != 7:
+            return False
+        start = p0._seg_start_round
+        if start is None or runner.network.round < start + 2:
+            return False
+        from .rebuild_arrays import try_arm
+
+        sim = try_arm(runner)
+        if sim is None:
+            return False
+        runner._wreath_assist = sim
+        sim.step_round(runner, recorder, observers)
+        return True
+
+
 class GraphToWreathProgram(NodeProgram):
     """One node of GraphToWreath."""
 
     tree_arity = 2  # GraphToThinWreath raises this to ~log n
+    phase_kernel = WreathSpliceKernel()
 
     def __init__(self, uid) -> None:
         super().__init__(uid)
@@ -254,7 +330,10 @@ class GraphToWreathProgram(NodeProgram):
         if self._seg_start_round is None:
             self._seg_start_round = ctx.round
         self._seg_round = ctx.round - self._seg_start_round + 1
-        messages = [(src, m) for src, ms in inbox.items() for m in ms]
+        if inbox:
+            messages = [(src, m) for src, ms in inbox.items() for m in ms]
+        else:
+            messages = []
         step, done = self._seg_handlers[self.segment]
         step(ctx, messages)
         if self._halt_at is not None and ctx.round >= self._halt_at:
@@ -273,16 +352,26 @@ class GraphToWreathProgram(NodeProgram):
     #: round is derived from the round number, not counted.
     bulk_sparse = True
 
+    #: Forced opening rounds per segment: how many rounds from a
+    #: segment's first one every member must run unconditionally.  The
+    #: barrier already wakes the whole fleet for each segment's first
+    #: round; entries above 1 cover the two decisions scheduled on a
+    #: fixed later beat with no message trigger — a childless member
+    #: flushes its attach list at segment round 2 (REQUEST) and every
+    #: participant scans neighbor records for its rebuilt-tree children
+    #: at segment round 2 (NEWCID).  All other progress is driven by
+    #: messages, neighbor-record rebinds, or the explicit per-segment
+    #: conditions below (stepping stones, the splice commit countdown,
+    #: the embedded rebuild program's own schedule).
+    _SEG_FORCED = WreathSpliceKernel.SEG_FORCED
+
     def bulk_next_wake(self, next_round: int, stale: bool):
         if self._outbox or self._halt_at is not None:
             return next_round
         start = self._seg_start_round
-        if start is None or next_round - start < 3:
-            # Segment openings run on a fixed early-round schedule:
-            # sensing and gating in rounds 1-2, the splice commit and the
-            # NEWCID child scan by round 3.
-            return next_round
         seg = self.segment
+        if start is None or next_round - start < self._SEG_FORCED[seg]:
+            return next_round
         if seg == 5:  # SPLICE_A: one stepping stone per round
             if self._conn_target is not None and (
                 not self._stones or self._splice_step < len(self._stones)

@@ -121,6 +121,7 @@ class BulkRunner(DenseRunner):
         self._pub_objs = [publics[uid] for uid in self._uids]
         self._kernel = None
         self._kstate = None
+        self._assist = None
         progs = self._progs
         if progs and self.adversary is None and not self.use_barrier:
             cls = type(progs[0])
@@ -132,6 +133,18 @@ class BulkRunner(DenseRunner):
             ):
                 self._kernel = kernel
                 self._kstate = kernel.init_state(self)
+        elif progs and self.adversary is None and self.use_barrier:
+            # Barrier families can't take the whole-run array path, but a
+            # kernel may still volunteer to simulate individual rounds
+            # (the wreath splice kernel's rebuild assist).
+            cls = type(progs[0])
+            kernel = cls.phase_kernel
+            if (
+                kernel is not None
+                and kernel.assist_rounds
+                and all(type(p) is cls for p in progs)
+            ):
+                self._assist = kernel
 
     # ------------------------------------------------------------------
     # round execution
@@ -143,6 +156,9 @@ class BulkRunner(DenseRunner):
             return
         if not self._sparse:
             super()._run_round(recorder, observers)
+            return
+        assist = self._assist
+        if assist is not None and assist.assist_round(self, recorder, observers):
             return
 
         net = self.network
@@ -212,6 +228,7 @@ class BulkRunner(DenseRunner):
 
         transitions = self._transitions
         publicfns = self._publicfns
+        next_wakes = self._next_wakes
         ready = self._ready
         ready_count = self._ready_count
         pub_objs = self._pub_objs
@@ -235,7 +252,7 @@ class BulkRunner(DenseRunner):
             if b != ready[i]:
                 ready[i] = b
                 ready_count += 1 if b else -1
-            nw = prog.bulk_next_wake(next_round, stale_list[k])
+            nw = next_wakes[i](next_round, stale_list[k])
             if nw is None:
                 new_wakes.append(_NEVER)
             else:
@@ -309,25 +326,7 @@ class BulkRunner(DenseRunner):
 
         # Global segment barrier: all-ready is tracked as a counter.
         if self.use_barrier and progs and self._ready_count == len(progs):
-            self.barrier_epoch += 1
-            epoch = self.barrier_epoch
-            for uid, prog, public, ctx in zip(
-                self._uids, progs, self._publicfns, self._ctxs
-            ):
-                prog.on_barrier(epoch)
-                publics[uid] = public()
-                ctx.barrier_epoch = epoch
-            # Every program runs again after a barrier (wake condition),
-            # and on_barrier() may halt — those must not run again.
-            self._wake[:] = next_round
-            self._stale[:] = True
-            barrier_wakes = len(self._wake)
-            self._pub_objs = [publics[uid] for uid in self._uids]
-            if True in map(_halted, progs):
-                self._rebuild_batch()
-            else:
-                self._ready = [p.barrier_ready for p in progs]
-                self._ready_count = sum(self._ready)
+            barrier_wakes = self._barrier_block(next_round)
 
         if self._probe is not None:
             self._probe.probe_round(
@@ -337,27 +336,70 @@ class BulkRunner(DenseRunner):
                 adj_wakes=adj_wakes, barrier_wakes=barrier_wakes,
             )
 
+    def _barrier_block(self, next_round: int) -> int:
+        """Fire the global segment barrier: bump the epoch, run every
+        program's ``on_barrier``, re-snapshot publics, and wake the whole
+        fleet for the next round.  Returns the barrier wake count.
+        Callers have already verified the all-ready condition."""
+        publics = self._publics
+        progs = self._progs
+        self.barrier_epoch += 1
+        epoch = self.barrier_epoch
+        for uid, prog, public, ctx in zip(
+            self._uids, progs, self._publicfns, self._ctxs
+        ):
+            prog.on_barrier(epoch)
+            publics[uid] = public()
+            ctx.barrier_epoch = epoch
+        # Every program runs again after a barrier (wake condition),
+        # and on_barrier() may halt — those must not run again.
+        self._wake[:] = next_round
+        self._stale[:] = True
+        barrier_wakes = len(self._wake)
+        self._pub_objs = [publics[uid] for uid in self._uids]
+        if True in map(_halted, progs):
+            self._rebuild_batch()
+        else:
+            self._ready = [p.barrier_ready for p in progs]
+            self._ready_count = sum(self._ready)
+        return barrier_wakes
+
     # ------------------------------------------------------------------
     # array-kernel path (uniform populations, no barrier, no adversary)
     # ------------------------------------------------------------------
 
     def _kernel_round(self, recorder, observers) -> None:
         net = self.network
+        kernel = self._kernel
         round_no = net.round
         nlive = len(self._live)
         if observers is not None:
             for obs in observers:
                 obs.on_round_start(round_no)
 
-        newly_halted = self._kernel.step_round(self._kstate, round_no)
+        # Dense-activity kernels return the round's raw action requests
+        # alongside the halting wave; quiescent-phase kernels touch no
+        # edges and return only the halting wave.  Either way the
+        # requests go through the network's legality pipeline and the
+        # recorder exactly as on the per-node backends.
+        if kernel.produces_actions:
+            newly_halted, actions = kernel.step_round(self._kstate, round_no)
+            per_node = (
+                actions.activation_count_by_actor() if actions.activations else None
+            )
+        else:
+            newly_halted = kernel.step_round(self._kstate, round_no)
+            actions = self._actions
+            actions.clear()
+            per_node = None
 
-        actions = self._actions
-        actions.clear()
         activations, deactivations = net.apply(actions, strict=self.strict)
-        recorder.record_round(activations, deactivations, None)
+        recorder.record_round(activations, deactivations, per_node)
+        if kernel.produces_actions and (activations or deactivations):
+            kernel.apply_effective(self._kstate, activations, deactivations)
         if self._conn is not None:
             connected = self._conn.update(activations, deactivations)
-            if not connected:  # pragma: no cover - kernels request no actions
+            if not connected:
                 raise ProtocolViolation(f"round {round_no} broke connectivity")
         else:
             connected = True

@@ -634,6 +634,7 @@ class DenseRunner(SynchronousRunner):
         self._composes = [s[1].compose for s in slots]
         self._transitions = [s[1].transition for s in slots]
         self._publicfns = [s[1].public for s in slots]
+        self._next_wakes = [s[1].bulk_next_wake for s in slots]
         self._ctxs = [s[2] for s in slots]
         self._all_plain = not any(p.manages_public_dirty for p in self._progs)
         self._live = dict.fromkeys(self._uids)

@@ -238,15 +238,43 @@ class PhaseKernel:
       over struct-of-arrays program state with no per-node Python at
       all.  The flooding kernel is the reference implementation.
 
-    Either way the observable execution — effective action sets, round
-    records, metrics, halting rounds — must be *identical* to the
-    per-node semantics; the cross-backend differential harness holds
-    kernels to byte-identical JSONL traces.
+    Array kernels come in two flavors, distinguished by
+    :attr:`produces_actions`:
+
+    * *Quiescent-phase kernels* (``produces_actions = False``, the
+      flooding kernel) cover families whose rounds never touch the edge
+      set; ``step_round`` returns only the newly halted uids.
+    * *Dense-activity kernels* (``produces_actions = True``, the star
+      kernel) cover families whose rounds request edge actions;
+      ``step_round`` returns ``(newly_halted_uids, RoundActions)`` and
+      the runner pushes the requests through the network's legality
+      pipeline exactly as the per-node backends do, then reports the
+      effective sets back through :meth:`apply_effective` so the kernel
+      can maintain its adjacency arrays incrementally.
+
+    Either way the observable execution — raw action requests, effective
+    action sets, round records, metrics, halting rounds — must be
+    *identical* to the per-node semantics; the cross-backend
+    differential harness holds kernels to byte-identical JSONL traces.
     """
 
     #: Struct-of-arrays layout of the kernel's bulk state:
     #: ``(field_name, dtype_str, per_node_description)`` triples.
     state_fields = ()
+
+    #: Whether :meth:`step_round` returns ``(newly_halted, RoundActions)``
+    #: instead of just the newly halted uids (dense-activity kernels).
+    produces_actions = False
+
+    #: Whether the kernel can take over *individual rounds* of a run that
+    #: is otherwise driven per-node (barrier families whose protocol
+    #: structure rules out the whole-run array path).  When set, the bulk
+    #: backend calls :meth:`assist_round` at the top of every sparse
+    #: round; the kernel either simulates that round entirely in array
+    #: form (returning True) or declines (returning False) and the
+    #: per-node path proceeds untouched.  Assisted rounds are held to the
+    #: same oracle as array kernels: byte-identical traces and metrics.
+    assist_rounds = False
 
     #: Optional pure mapping ``round_no -> (phase, position)`` of a
     #: 1-based round into the family's repeating phase structure (the
@@ -263,13 +291,33 @@ class PhaseKernel:
         size/feature limits).  Scheduling-only kernels return False."""
         return False
 
+    def assist_round(self, runner, recorder, observers) -> bool:
+        """Simulate the runner's current round entirely in array form.
+
+        Only called when :attr:`assist_rounds` is set.  Returns True if
+        the round was executed (trace/metrics emitted, wake state left
+        consistent), False to fall through to the per-node path."""
+        return False
+
     def init_state(self, runner):
         """Gather per-node program state into struct-of-arrays form."""
         raise NotImplementedError
 
-    def step_round(self, state, round_no: int) -> bool:
-        """Execute one full round as array ops; True when all halted."""
+    def step_round(self, state, round_no: int):
+        """Execute one full round as array ops.
+
+        Returns the newly halted uids — or, when
+        :attr:`produces_actions` is set, ``(newly_halted_uids, actions)``
+        with ``actions`` the round's raw :class:`RoundActions` requests
+        (the exact per-actor multiset the per-node programs would have
+        issued, so request-count metrics match to the unit).
+        """
         raise NotImplementedError
+
+    def apply_effective(self, state, activations, deactivations) -> None:
+        """Fold the round's *effective* uid-space action sets back into
+        the kernel state (action-producing kernels maintain adjacency
+        incrementally from exactly what the network committed)."""
 
     def finalize(self, state, runner) -> None:
         """Scatter bulk state back into the per-node program objects."""

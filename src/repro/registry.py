@@ -106,6 +106,11 @@ class ScenarioSpec:
     #: memory budget at n = 10⁵ on *any* backend, so size-tier presets
     #: (e.g. ``xlarge``) must exclude them.
     quadratic_state: bool = False
+    #: The :class:`~repro.engine.NodeProgram` classes the scenario runs,
+    #: in stage order (compositions list one per stage).  Kernel coverage
+    #: for listings and size-tier derivation is read off their
+    #: ``phase_kernel`` class attributes — never hand-maintained.
+    programs: tuple = ()
     params: tuple = ()
     invariants: tuple = ()
     version: int = 1
@@ -132,6 +137,28 @@ class ScenarioSpec:
                 return p
         return None
 
+    def kernel_level(self) -> str | None:
+        """Whole-round kernel coverage, derived from :attr:`programs`.
+
+        ``"kernel"`` when every stage's program family registers an
+        *array* kernel (whole rounds execute as single array dispatches
+        on the bulk backend); ``"kernel-sched"`` when every stage
+        registers at least a *scheduling* kernel (the family's wake
+        discipline is declared at phase level, rounds still run per-node
+        Python); ``None`` when any stage has no kernel.  An array kernel
+        is recognized by overriding :meth:`PhaseKernel.step_round`.
+        """
+        from .engine.program import PhaseKernel
+
+        if not self.programs:
+            return None
+        kernels = [getattr(p, "phase_kernel", None) for p in self.programs]
+        if any(k is None for k in kernels):
+            return None
+        if all(type(k).step_round is not PhaseKernel.step_round for k in kernels):
+            return "kernel"
+        return "kernel-sched"
+
     def capabilities(self) -> str:
         """Compact capability summary for listings (e.g. ``backend+trace``)."""
         flags = []
@@ -139,6 +166,9 @@ class ScenarioSpec:
             flags.append("backend")
         if self.supports_bulk:
             flags.append("bulk")
+        kernel = self.kernel_level()
+        if kernel:
+            flags.append(kernel)
         if self.supports_adversary:
             flags.append("adversary")
         if self.supports_trace:
@@ -169,6 +199,9 @@ def _ensure_defaults() -> None:
         run_graph_to_thin_wreath,
         run_graph_to_wreath,
     )
+    from .core.graph_to_star import GraphToStarProgram
+    from .core.graph_to_wreath import GraphToWreathProgram
+    from .core.thin_wreath import GraphToThinWreathProgram
     from .dynamics.scenarios import run_star_self_healing, run_wreath_self_healing
     from .problems.composition import (
         run_flood_baseline,
@@ -176,6 +209,8 @@ def _ensure_defaults() -> None:
         run_star_then_leader,
         run_wreath_then_flood,
     )
+    from .problems.leader_election import MaxUidLeaderProgram
+    from .problems.token_dissemination import FloodTokensProgram
 
     strikes = ScenarioParam(
         "strikes", int, 3, "number of adversary strikes on the quiescent target"
@@ -194,6 +229,7 @@ def _ensure_defaults() -> None:
             description="GraphToStar: edge-optimal Depth-1 Tree",
             paper="Thm 3.8",
             supports_bulk=True,
+            programs=(GraphToStarProgram,),
             invariants=log_linear,
         ),
         ScenarioSpec(
@@ -201,6 +237,7 @@ def _ensure_defaults() -> None:
             description="GraphToWreath: constant degree, O(log^2 n) time",
             paper="Thm 4.2",
             supports_bulk=True,
+            programs=(GraphToWreathProgram,),
             invariants=polylog_linear,
         ),
         ScenarioSpec(
@@ -208,6 +245,7 @@ def _ensure_defaults() -> None:
             description="GraphToThinWreath: polylog degree, o(log^2 n) time",
             paper="Thm 5.1",
             supports_bulk=True,
+            programs=(GraphToThinWreathProgram,),
             invariants=polylog_linear,
         ),
         ScenarioSpec(
@@ -251,6 +289,7 @@ def _ensure_defaults() -> None:
             paper="Sec 1.3",
             supports_bulk=True,
             quadratic_state=True,
+            programs=(GraphToStarProgram, FloodTokensProgram),
             invariants=log_linear,
         ),
         ScenarioSpec(
@@ -259,6 +298,7 @@ def _ensure_defaults() -> None:
             paper="Sec 1.3",
             supports_bulk=True,
             quadratic_state=True,
+            programs=(GraphToWreathProgram, FloodTokensProgram),
             invariants=polylog_linear,
         ),
         ScenarioSpec(
@@ -267,6 +307,7 @@ def _ensure_defaults() -> None:
             paper="Sec 1.3",
             supports_bulk=True,
             quadratic_state=True,
+            programs=(FloodTokensProgram,),
             invariants=safety,
         ),
         ScenarioSpec(
@@ -275,6 +316,7 @@ def _ensure_defaults() -> None:
             paper="Sec 1.3",
             supports_bulk=True,
             quadratic_state=True,
+            programs=(GraphToStarProgram, MaxUidLeaderProgram),
             invariants=log_linear,
         ),
     ]

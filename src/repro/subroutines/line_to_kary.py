@@ -87,6 +87,8 @@ class AsyncLineToKaryTreeProgram(NodeProgram):
         self._arrivals: dict = {}
         self._obs_pubs: dict | None = None
         self._obs_self = None
+        self._obs_fresh = True
+        self._quiet = False
         self._public: dict | None = None
         self._refresh_public()
 
@@ -103,6 +105,15 @@ class AsyncLineToKaryTreeProgram(NodeProgram):
         if self.settled:
             return None
         if not self.terminated:
+            if self.pending is not None and self.pending_ladder_dead:
+                # A releasable outgrown edge commits on the deactivate beat.
+                return next_round + (-next_round) % 3
+            if self._quiet:
+                # The last activate-beat decision was a no-op over inputs
+                # that have not moved since (see the certificate kept by
+                # :meth:`transition`), so it stays a no-op on every future
+                # beat until a tracked wake condition delivers new inputs.
+                return None
             # A live jumper acts on the activate beat (and the deactivate
             # beat while holding an outgrown edge); between beats only a
             # neighbor-record change matters, and that is a tracked wake.
@@ -165,25 +176,28 @@ class AsyncLineToKaryTreeProgram(NodeProgram):
         """
         prev = self._obs_pubs
         own = (self.parent, self.pending, self.ea, self.dea, self.settled)
-        publics = {}
-        unchanged = prev is not None and own == self._obs_self
-        for v in ctx.neighbors:
-            pub = ctx.neighbor_public(v)
-            publics[v] = pub
-            if unchanged and prev.get(v) is not pub:
-                unchanged = False
-        if unchanged and len(prev) == len(publics):
-            return prev
+        pairs = ctx.neighbor_publics()
+        if prev is not None and own == self._obs_self and len(prev) == len(pairs):
+            prev_get = prev.get
+            for v, pub in pairs:
+                if prev_get(v) is not pub:
+                    break
+            else:
+                self._obs_fresh = False
+                return prev
+        publics = dict(pairs)
+        self._obs_fresh = True
         self._obs_pubs = publics
         self._obs_self = own
 
+        uid = self.uid
         children = []
         arrivals: dict = {}
-        for w, pub in publics.items():
-            if pub.get("parent") == self.uid:
+        for w, pub in pairs:
+            if pub["parent"] == uid:
                 children.append(w)
                 arrivals[pub["ea"]] = (w, pub, "child")
-            elif pub.get("pending") == self.uid:
+            elif pub["pending"] == uid:
                 arrivals[pub["dea"]] = (w, pub, "passed")
         self._children = children
         self._arrivals = arrivals
@@ -272,6 +286,7 @@ class AsyncLineToKaryTreeProgram(NodeProgram):
                 self._refresh_public()
                 return
 
+        pre = (self.ea, self.dea, self.pending, self.terminated, self.settled)
         publics = self._observe(ctx)
 
         if self.parent is None and not self.terminated:
@@ -286,6 +301,18 @@ class AsyncLineToKaryTreeProgram(NodeProgram):
             self._deactivate_step(ctx)
 
         self._maybe_settle(publics)
+        # Quiet certificate for the sparse scheduler: an activate beat
+        # whose decision changed nothing stays a no-op as long as every
+        # input it read keeps its value, and all of those inputs (own
+        # state, neighbor records, adjacency) are covered by tracked wake
+        # conditions.  Off-beat runs keep the certificate only when the
+        # observation memo proves the inputs did not move.
+        if (self.ea, self.dea, self.pending, self.terminated, self.settled) != pre:
+            self._quiet = False
+        elif ctx.round % 3 == 1:
+            self._quiet = True
+        elif self._obs_fresh:
+            self._quiet = False
         self._refresh_public()
 
     # ------------------------------------------------------------------

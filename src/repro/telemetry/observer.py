@@ -112,6 +112,12 @@ class TelemetryObserver(RoundObserver):
         T seconds".
     heartbeat_min_interval_s:
         Minimum seconds between heartbeat lines.
+    heartbeat_min_rounds:
+        Minimum rounds between heartbeat lines (0 disables).  Emitting
+        requires *both* gates: enough wall time *and* enough rounds
+        since the previous line.  Microsecond-round cells at n = 10⁶
+        would otherwise re-test the wall clock every round and flood
+        stderr whenever the wall throttle is loose or disabled.
     heartbeat_stream:
         File-like the heartbeat writes to (default: current stderr,
         resolved at emit time).
@@ -135,6 +141,7 @@ class TelemetryObserver(RoundObserver):
         *,
         heartbeat_every: int = 0,
         heartbeat_min_interval_s: float = 0.0,
+        heartbeat_min_rounds: int = 0,
         heartbeat_stream=None,
         heartbeat_label: str = "telemetry",
         rss_every: int = 64,
@@ -143,6 +150,7 @@ class TelemetryObserver(RoundObserver):
     ) -> None:
         self.heartbeat_every = int(heartbeat_every)
         self.heartbeat_min_interval_s = float(heartbeat_min_interval_s)
+        self.heartbeat_min_rounds = int(heartbeat_min_rounds)
         self.heartbeat_stream = heartbeat_stream
         self.heartbeat_label = heartbeat_label
         self.rss_every = int(rss_every)
@@ -157,6 +165,7 @@ class TelemetryObserver(RoundObserver):
         self._next_info: dict | None = None
         self._open = False
         self._hb_last = 0.0
+        self._hb_last_round = 0
 
     # -- probe protocol (called by the runners, not the record stream) --
 
@@ -214,6 +223,10 @@ class TelemetryObserver(RoundObserver):
         self._limit = info.get("limit")
         self._phase_of = info.get("phase_of")
         self._open = True
+        # Round numbers restart at 1 for each segment; the round gate
+        # must restart with them (the wall gate deliberately does not:
+        # rapid segment turnover should not print per segment).
+        self._hb_last_round = 0
         self._rounds = 0
         self._time_sum = 0.0
         self._min_us = float("inf")
@@ -343,9 +356,11 @@ class TelemetryObserver(RoundObserver):
         if (
             every
             and round_no % every == 0
+            and round_no - self._hb_last_round >= self.heartbeat_min_rounds
             and now - self._hb_last >= self.heartbeat_min_interval_s
         ):
             self._hb_last = now
+            self._hb_last_round = round_no
             self._emit_heartbeat(round_no)
 
     def _finalize_segment(self, now: float) -> None:

@@ -135,6 +135,13 @@ CI_CORPUS = [
     ("wreath", "ring", 20, 0, None),
     ("wreath", "line", 16, 2, None),
     ("thin-wreath", "ring", 16, 0, None),
+    # random-UID ring cells: fresh UID permutations over the wreath
+    # rebuild-assist path (repro.core.rebuild_arrays), so the splice
+    # kernel's array rounds are differentially checked on placements
+    # other than the canonical one
+    ("wreath", "ring", 23, 7, None),
+    ("wreath", "ring", 19, 13, None),
+    ("thin-wreath", "ring", 21, 5, None),
     ("clique", "ring", 12, 0, None),
     ("star-heal", "ring", 16, 0, None),
     ("star-heal", "ring", 16, 0, AdversarySpec(kind="drop", rate=0.3, seed=5, policy="reroute")),

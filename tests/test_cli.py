@@ -535,7 +535,9 @@ class TestProfileFlag:
         assert payload["schema"] == PROFILE_SCHEMA
         prof = RunProfile.from_dict(payload)
         assert prof.rounds > 0 and prof.backend == "bulk"
-        assert prof.dispatch == {"sparse": prof.rounds}
+        # sparse rounds plus the wreath REBUILD segments' assist rounds
+        assert set(prof.dispatch) == {"sparse", "assist"}
+        assert sum(prof.dispatch.values()) == prof.rounds
 
     def test_profile_composes_with_check_and_trace_out(self, capsys, tmp_path):
         from repro.core import run_graph_to_star

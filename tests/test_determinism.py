@@ -45,6 +45,10 @@ SEEDED_CELLS = [
     ("thin-wreath", "gnp", 18, 2),
     ("thin-wreath", "grid", 16, 6),
     ("thin-wreath", "regular3", 14, 8),
+    # random-UID ring cells: the wreath rebuild-assist rounds must stay
+    # byte-deterministic under non-canonical UID placements too
+    ("wreath", "ring", 23, 7),
+    ("thin-wreath", "ring", 21, 5),
     ("clique", "regular3", 12, 2),
     ("star+flood", "grid", 25, 5),
     ("flood-baseline", "regular3", 16, 7),

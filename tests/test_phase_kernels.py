@@ -327,3 +327,106 @@ class TestStarNextWake:
         else:
             assert (r - 1) % PHASE_LEN == 0
             assert r - next_round == PHASE_LEN - pos
+
+
+# ---------------------------------------------------------------------------
+# StarDenseKernel: whole-round array dispatch vs the per-node backends
+# ---------------------------------------------------------------------------
+
+
+def _trace_bytes(algorithm, graph, backend) -> str:
+    import io
+
+    from repro.engine import JsonlSink
+    from repro.registry import get_algorithm
+
+    buf = io.StringIO()
+    get_algorithm(algorithm)(graph, backend=backend, observers=[JsonlSink(buf)])
+    return buf.getvalue()
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestStarDenseKernelLockstep:
+    """The star dense-phase kernel executes whole rounds as array ops;
+    on random connected graphs and random UID placements its emitted
+    trace must match the per-node dense backend byte for byte."""
+
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        family=st.sampled_from(["ring", "line", "gnp", "random_tree", "grid"]),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(deadline=None, max_examples=12)
+    def test_bulk_trace_matches_dense(self, n, family, seed):
+        from repro.graphs import families
+
+        graph = families.make(family, n, seed=seed)
+        assert _trace_bytes("star", graph, "bulk") == _trace_bytes(
+            "star", graph, "dense"
+        )
+
+    def test_kernel_path_engages(self):
+        from repro.core.graph_to_star import GraphToStarProgram
+        from repro.engine import SynchronousRunner
+        from repro.graphs import families
+
+        runner = SynchronousRunner(
+            families.make("ring", 32), GraphToStarProgram, backend="bulk"
+        )
+        runner.run()
+        assert runner._kernel is not None
+
+
+# ---------------------------------------------------------------------------
+# WreathSpliceKernel: the REBUILD array assist vs the per-node backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestWreathRebuildAssistLockstep:
+    """The rebuild assist simulates whole REBUILD rounds in array form
+    (repro.core.rebuild_arrays); on random-UID placements the bulk trace
+    must match the reference backend byte for byte, for both tree
+    arities (wreath k=2, thin-wreath k~log n)."""
+
+    @given(
+        n=st.integers(min_value=6, max_value=40),
+        algorithm=st.sampled_from(["wreath", "thin-wreath"]),
+        family=st.sampled_from(["ring", "random_tree", "gnp"]),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(deadline=None, max_examples=12)
+    def test_bulk_trace_matches_reference(self, n, algorithm, family, seed):
+        from repro.graphs import families
+
+        graph = families.make(family, n, seed=seed)
+        assert _trace_bytes(algorithm, graph, "bulk") == _trace_bytes(
+            algorithm, graph, "reference"
+        )
+
+    def test_assist_engages_and_settles(self, monkeypatch):
+        import repro.core.rebuild_arrays as ra
+        from repro.core.graph_to_wreath import GraphToWreathProgram
+        from repro.engine import SynchronousRunner
+        from repro.graphs import families
+
+        calls = []
+        orig = ra.RebuildSim.step_round
+
+        def counting(self, *args, **kwargs):
+            calls.append(self)
+            return orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(ra.RebuildSim, "step_round", counting)
+        runner = SynchronousRunner(
+            families.make("ring", 64),
+            GraphToWreathProgram,
+            backend="bulk",
+            use_barrier=True,
+        )
+        runner.run()
+        assert calls, "rebuild assist never engaged"
+        # Every armed simulation ran to the all-settled scatter.
+        for sim in {id(s): s for s in calls}.values():
+            assert sim.settled.all()
+        assert runner._wreath_assist is None

@@ -158,3 +158,37 @@ class TestCheckCell:
                     "x", run_graph_to_star, "distributed",
                     params=(ScenarioParam(reserved, int, 1, "boom"),),
                 )
+
+
+class TestKernelCapabilityTags:
+    """Golden expectations for the derived ``kernel``/``kernel-sched``
+    capability tags (``repro --list``).  These are derived from the
+    registered program families' ``phase_kernel`` attributes, so a
+    regression here means a kernel was dropped or demoted."""
+
+    GOLDEN = {
+        # array kernels: whole rounds execute as single array dispatches
+        "star": "kernel",
+        "star+flood": "kernel",
+        "star+leader": "kernel",
+        "flood-baseline": "kernel",
+        # scheduling kernels: barrier families (the wreath splice kernel
+        # also array-executes REBUILD rounds, but whole runs stay on the
+        # per-node sparse path, hence the -sched tier)
+        "wreath": "kernel-sched",
+        "thin-wreath": "kernel-sched",
+        "wreath+flood": "kernel-sched",
+    }
+
+    @pytest.mark.parametrize("name,level", sorted(GOLDEN.items()))
+    def test_kernel_level_golden(self, name, level):
+        spec = get_scenario(name)
+        assert spec.kernel_level() == level
+        assert level in spec.capabilities().split("+")
+
+    def test_untagged_scenarios_have_no_kernel(self):
+        for name in ("star-heal", "wreath-heal", "clique"):
+            spec = get_scenario(name)
+            assert spec.kernel_level() is None
+            caps = spec.capabilities().split("+")
+            assert "kernel" not in caps and "kernel-sched" not in caps

@@ -171,7 +171,10 @@ class TestBackendProfiles:
         telemetry = TelemetryObserver()
         _run("wreath", "increasing_ring", 64, "bulk", [telemetry])
         prof = telemetry.profile()
-        assert prof.dispatch == {"sparse": prof.rounds}
+        # REBUILD segments run under the rebuild assist (its own
+        # dispatch label); everything else dispatches sparse.
+        assert set(prof.dispatch) == {"sparse", "assist"}
+        assert sum(prof.dispatch.values()) == prof.rounds
         assert prof.due is not None
         assert prof.due["mean"] <= prof.live["mean"]
         assert set(prof.wake_hits) <= set(WAKE_CAUSES)
@@ -401,6 +404,19 @@ class TestHeartbeat:
         _run("star", "ring", 16, "reference", [telemetry])
         # the first beat passes (hb_last starts at 0), the rest throttle
         assert len(buf.getvalue().splitlines()) <= 1
+
+    def test_min_rounds_throttles(self):
+        # The xxlarge regime's second gate: at microsecond rounds the
+        # wall-time throttle alone would still print every round that
+        # lands after the interval, so the round-count gate must bound
+        # the stream to one line per ``heartbeat_min_rounds`` rounds.
+        buf = io.StringIO()
+        telemetry = TelemetryObserver(
+            heartbeat_every=1, heartbeat_min_rounds=10, heartbeat_stream=buf,
+        )
+        res = _run("star", "ring", 16, "reference", [telemetry])
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == res.metrics.rounds // 10
 
     def test_disabled_by_default(self):
         buf = io.StringIO()
