@@ -47,7 +47,7 @@ import math
 import os
 
 from .engine.observers import RoundObserver
-from .engine.trace import PerturbationRecord, Trace, split_segments
+from .engine.trace import PerturbationRecord, Trace, sorted_edges, split_segments
 from .errors import ConfigurationError, InvariantViolation
 
 __all__ = [
@@ -71,6 +71,22 @@ __all__ = [
 #: when an invariant fails on every round of a long run.
 _MAX_DETAILS = 4
 
+#: Control characters escaped out of :attr:`Verdict.cell` so one verdict
+#: always occupies one CSV/table cell (str node labels can smuggle
+#: newlines into failure details via their reprs).
+_CELL_ESCAPES = str.maketrans({"\\": "\\\\", "\n": "\\n", "\r": "\\r", "\t": "\\t"})
+
+
+def _lbl(x) -> str:
+    """A node label as embedded in failure details.
+
+    Ints (the normal uid scheme) print bare, exactly as before; str
+    labels print as their repr, so a label containing ``, `` or ``; ``
+    cannot be confused with the detail's own pair/failure separators
+    (the sweep-CSV corruption fixed in PR 10).
+    """
+    return repr(x) if isinstance(x, str) else str(x)
+
 
 def _log2ceil(n: int) -> int:
     return max(1, math.ceil(math.log2(max(2, n))))
@@ -92,8 +108,19 @@ class Verdict:
 
     @property
     def cell(self) -> str:
-        """Compact table/CSV cell value (``ok`` or ``FAIL: ...``)."""
-        return "ok" if self.ok else f"FAIL: {self.detail}"
+        """Compact table/CSV cell value (``ok`` or ``FAIL: ...``).
+
+        The detail is sanitized for single-cell embedding: backslashes
+        and control characters (newline/CR/tab) are backslash-escaped,
+        so a multi-failure detail round-trips through ``SweepResult``
+        CSV export as exactly one field (the csv module handles ``,``
+        and quotes by quoting; embedded newlines, though legal in
+        quoted CSV, break line-oriented consumers and are escaped
+        here).  Plain details are returned unchanged.
+        """
+        if self.ok:
+            return "ok"
+        return f"FAIL: {self.detail.translate(_CELL_ESCAPES)}"
 
 
 class InvariantChecker(RoundObserver):
@@ -101,6 +128,13 @@ class InvariantChecker(RoundObserver):
 
     #: The registry name this checker was built from (set by make_checkers).
     name = "invariant"
+
+    #: Checkers never retain the round's effective sets beyond the
+    #: ``on_round`` call, so the bulk backend may hand them a borrowed
+    #: :class:`~repro.engine.observers.RawRound` view instead of paying
+    #: the ``frozenset`` materialization a ``RoundRecord`` requires
+    #: (the record-stream analogue of PR 7's telemetry-probe exclusion).
+    accepts_raw_rounds = True
 
     def __init__(self) -> None:
         self._failures: list = []
@@ -154,7 +188,10 @@ class _EdgeReplay(InvariantChecker):
 
     def _add_edge(self, u, v) -> bool:
         adj = self._adj
-        if u not in adj or v not in adj or v in adj[u]:
+        # u == v: Network.apply_external skips self-loops; without the
+        # guard the replay stored u in its own adjacency set and the
+        # folded edge count diverged (PR 10 differential fix).
+        if u not in adj or v not in adj or u == v or v in adj[u]:
             return False
         adj[u].add(v)
         adj[v].add(u)
@@ -171,20 +208,48 @@ class _EdgeReplay(InvariantChecker):
         return True
 
     def _apply_perturbation(self, record) -> None:
-        """Fold an external strike (unconstrained by the model's rules)."""
+        """Fold an external strike (unconstrained by the model's rules).
+
+        Event semantics mirror ``Network.apply_external`` exactly — the
+        PR 10 hypothesis differential (tests/test_replay_differential.py)
+        pins the fold to the engine over random strike batches.  The two
+        guards below were divergences it found: the engine never crashes
+        the last remaining node, and it skips a join whose uid is
+        already present *entirely* (a duplicate join must not attach
+        edges to the existing node).
+        """
         adj = self._adj
         for u in record.crashes:
-            for v in adj.pop(u, ()):
+            if u not in adj or len(adj) <= 1:
+                continue
+            for v in adj.pop(u):
                 adj[v].discard(u)
                 self._n_edges -= 1
         for u, v in record.drops:
             self._drop_edge(u, v)
         for uid, attach in record.joins:
-            adj.setdefault(uid, set())
+            if uid in adj:
+                continue
+            adj[uid] = set()
             for v in attach:
                 self._add_edge(uid, v)
         for u, v in record.adds:
             self._add_edge(u, v)
+
+    def fold_round(self, record) -> None:
+        """Fold one round's effective sets (no legality checking)."""
+        for u, v in record.activations:
+            self._add_edge(u, v)
+        for u, v in record.deactivations:
+            self._drop_edge(u, v)
+
+    def snapshot(self) -> tuple:
+        """The replayed graph as ``(nodes, edges)`` lists — the baseline
+        the next chained segment replays against."""
+        adj = self._adj
+        nodes = list(adj)
+        edges = [(u, v) for u, nbrs in adj.items() for v in nbrs if _le(u, v)]
+        return nodes, edges
 
 
 class ConnectivityChecker(_EdgeReplay):
@@ -277,23 +342,38 @@ class TemporalLegalityChecker(_EdgeReplay):
     def on_round(self, record) -> None:
         adj = self._adj
         where = self._where(record.round)
-        for u, v in record.activations:
+        # Canonical-order iteration: failure details are emitted in
+        # sorted-edge order, deterministically — set iteration order is
+        # not, and the array checkers must reproduce these strings
+        # byte-for-byte (the PR 10 verdict-equality contract).
+        acts = sorted_edges(record.activations)
+        deacts = sorted_edges(record.deactivations)
+        for u, v in acts:
             if u not in adj or v not in adj:
-                self._fail(f"{where}: activation ({u}, {v}) names an unknown node")
+                self._fail(
+                    f"{where}: activation ({_lbl(u)}, {_lbl(v)}) names an "
+                    f"unknown node"
+                )
+            elif u == v:
+                self._fail(f"{where}: activated self-loop ({_lbl(u)}, {_lbl(v)})")
             elif v in adj[u]:
-                self._fail(f"{where}: activated already-active edge ({u}, {v})")
+                self._fail(
+                    f"{where}: activated already-active edge ({_lbl(u)}, {_lbl(v)})"
+                )
             elif adj[u].isdisjoint(adj[v]):
                 self._fail(
-                    f"{where}: activated ({u}, {v}) but endpoints are not "
-                    f"at distance 2"
+                    f"{where}: activated ({_lbl(u)}, {_lbl(v)}) but endpoints "
+                    f"are not at distance 2"
                 )
-        for u, v in record.deactivations:
+        for u, v in deacts:
             if u not in adj or v not in adj[u]:
-                self._fail(f"{where}: deactivated inactive edge ({u}, {v})")
-        for u, v in record.activations:
+                self._fail(
+                    f"{where}: deactivated inactive edge ({_lbl(u)}, {_lbl(v)})"
+                )
+        for u, v in acts:
             if self._add_edge(u, v):
                 self._activated.add((u, v) if _le(u, v) else (v, u))
-        for u, v in record.deactivations:
+        for u, v in deacts:
             if self._drop_edge(u, v):
                 self._activated.discard((u, v) if _le(u, v) else (v, u))
         if record.active_edges != self._n_edges:
@@ -434,19 +514,53 @@ _BUDGET_CHECKERS = {
 }
 
 
-def make_checkers(invariants) -> list:
+def _use_arrays(arrays) -> bool:
+    """Resolve the checker implementation choice (see make_checkers)."""
+    if arrays is None:
+        env = os.environ.get("REPRO_CHECKERS", "").strip().lower()
+        if env in ("dict", "python"):
+            return False
+        arrays = True
+    if not arrays:
+        return False
+    try:
+        from . import conformance_arrays  # noqa: F401 (probe the numpy dep)
+    except ImportError:
+        return False
+    return True
+
+
+def make_checkers(invariants, *, arrays: bool | None = None) -> list:
     """Build one fresh checker per declared invariant name.
 
     Names are either structural (``connectivity``,
     ``temporal-legality``) or ``family:budget`` pairs resolved through
     :data:`BUDGETS` (e.g. ``rounds:log``, ``edges:nlogn``).
+
+    ``arrays`` selects the structural checkers' implementation: the
+    array-native ones from :mod:`repro.conformance_arrays` (``True``,
+    and the default whenever numpy is importable) or the dict-based
+    oracle ones defined here (``False``).  The default can be forced to
+    the oracle with ``REPRO_CHECKERS=dict`` in the environment (the
+    knob the verdict-equality suite and the bench gate use); verdicts
+    are asserted equal either way, so the choice is a pure performance
+    trade.  Budget checkers are O(1) per round and have one
+    implementation.
     """
+    if _use_arrays(arrays):
+        from .conformance_arrays import (
+            ArrayConnectivityChecker as connectivity_cls,
+            ArrayTemporalLegalityChecker as legality_cls,
+        )
+    else:
+        connectivity_cls = ConnectivityChecker
+        legality_cls = TemporalLegalityChecker
     checkers: list = []
     for name in invariants:
         if name == "connectivity":
-            checkers.append(ConnectivityChecker())
+            checkers.append(connectivity_cls())
         elif name == "temporal-legality":
-            checkers.append(TemporalLegalityChecker())
+            checkers.append(legality_cls())
         else:
             family = name.split(":", 1)[0]
             cls = _BUDGET_CHECKERS.get(family)
@@ -514,40 +628,37 @@ def check_trace(graph, trace, checkers, *, baselines: str = "chained") -> list:
     _check_baselines(baselines)
     segments = _split_segments(trace)
     _reject_multisegment_perts(len(segments), len(trace.perturbations))
-    tracker = _EdgeReplay()
     initial = _ReplayNetwork(graph.nodes(), graph.edges())
     net = initial
     perts = sorted(trace.perturbations, key=lambda p: p.round)
     pi = 0
-    for records in segments:
+    for si, records in enumerate(segments):
         for c in checkers:
             c.on_run_start(net)
-        tracker.on_run_start(net)
+        # The baseline tracker (array replay when numpy is available)
+        # only runs when a later segment will consume its end state:
+        # single-segment archives — every large-n audit — skip the fold
+        # entirely, and restart mode never folds.
+        fold = baselines == "chained" and si + 1 < len(segments)
+        tracker = _make_tracker() if fold else None
+        if tracker is not None:
+            tracker.on_run_start(net)
         for rec in records:
             while pi < len(perts) and perts[pi].round <= rec.round:
                 for c in checkers:
                     c.on_perturbation(perts[pi])
-                tracker._apply_perturbation(perts[pi])
+                if tracker is not None:
+                    tracker._apply_perturbation(perts[pi])
                 pi += 1
             for c in checkers:
                 c.on_round_start(rec.round)
                 c.on_round(rec)
-            for u, v in rec.activations:
-                tracker._add_edge(u, v)
-            for u, v in rec.deactivations:
-                tracker._drop_edge(u, v)
+            if tracker is not None:
+                tracker.fold_round(rec)
         # The replayed end state is the next segment's initial network
         # (chained); restart mode replays every segment on the input.
-        if baselines == "chained":
-            net = _ReplayNetwork(
-                tracker._adj,
-                (
-                    (u, v)
-                    for u, nbrs in tracker._adj.items()
-                    for v in nbrs
-                    if _le(u, v)
-                ),
-            )
+        if tracker is not None:
+            net = _ReplayNetwork(*tracker.snapshot())
         else:
             net = initial
     for pert in perts[pi:]:
@@ -660,7 +771,7 @@ def _segment_plan(source):
         def stream(i):
             def run():
                 with BinaryTraceReader(path) as r:
-                    yield from r.iter_segment(i)
+                    yield from r.iter_segment(i, arrays=True)
 
             return run
 
@@ -710,23 +821,25 @@ def _baseline_tasks(
     for i in range(n_segments):
         yield (segment_sources[i], i, nodes, edges, names)
         if baselines == "chained" and i + 1 < n_segments:
-            tracker = _EdgeReplay()
+            tracker = _make_tracker()
             tracker.on_run_start(_ReplayNetwork(nodes, edges))
             for item in segment_streams[i]():
                 if isinstance(item, PerturbationRecord):
                     tracker._apply_perturbation(item)
                 else:
-                    for u, v in item.activations:
-                        tracker._add_edge(u, v)
-                    for u, v in item.deactivations:
-                        tracker._drop_edge(u, v)
-            nodes = list(tracker._adj)
-            edges = [
-                (u, v)
-                for u, nbrs in tracker._adj.items()
-                for v in nbrs
-                if _le(u, v)
-            ]
+                    tracker.fold_round(item)
+            nodes, edges = tracker.snapshot()
+
+
+def _make_tracker():
+    """A baseline-fold tracker: the array replay when numpy is
+    available, the dict replay otherwise.  Both fold identically (the
+    array tracker shares the dict fold for perturbations outright)."""
+    if _use_arrays(None):
+        from .conformance_arrays import ArrayReplayTracker
+
+        return ArrayReplayTracker()
+    return _EdgeReplay()
 
 
 def _audit_segment_task(task):
@@ -738,7 +851,9 @@ def _audit_segment_task(task):
 
         path, i = payload
         reader = BinaryTraceReader(path)
-        stream = reader.iter_segment(i)
+        # Array rounds feed the array checkers natively; every consumer
+        # sees the RoundRecord field surface either way.
+        stream = reader.iter_segment(i, arrays=True)
     else:
         reader = None
         (stream,) = payload

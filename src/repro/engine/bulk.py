@@ -46,7 +46,6 @@ except ImportError as exc:  # pragma: no cover - numpy is a core dependency
 
 from ..errors import ProtocolViolation
 from .dense import _EMPTY_INBOX, DenseRunner
-from .trace import RoundRecord
 
 #: Sentinel wake round for "parked until an external wake condition".
 _NEVER = np.iinfo(np.int64).max // 2
@@ -274,17 +273,9 @@ class BulkRunner(DenseRunner):
             connected = True
 
         if observers is not None:
-            record = RoundRecord(
-                round=round_no,
-                activations=frozenset(activations),
-                deactivations=frozenset(deactivations),
-                active_edges=net.num_active_edges,
-                activated_edges=net.num_activated_edges,
-                connected=connected,
-                barrier_epoch=self.barrier_epoch,
+            self._emit_round(
+                observers, net, round_no, activations, deactivations, connected
             )
-            for obs in observers:
-                obs.on_round(record)
 
         # Commit re-bound public records (visible from next round) and
         # propagate the wake condition to the broadcasting node's
@@ -405,17 +396,9 @@ class BulkRunner(DenseRunner):
             connected = True
 
         if observers is not None:
-            record = RoundRecord(
-                round=round_no,
-                activations=frozenset(activations),
-                deactivations=frozenset(deactivations),
-                active_edges=net.num_active_edges,
-                activated_edges=net.num_activated_edges,
-                connected=connected,
-                barrier_epoch=self.barrier_epoch,
+            self._emit_round(
+                observers, net, round_no, activations, deactivations, connected
             )
-            for obs in observers:
-                obs.on_round(record)
 
         live = self._live
         for uid in newly_halted:

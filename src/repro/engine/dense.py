@@ -45,7 +45,7 @@ from ..errors import ConfigurationError, ExecutionError, ProtocolViolation
 from .actions import RoundActions, canonical_view, edge_key
 from .network import _validate_label_comparability
 from .runner import SynchronousRunner
-from .trace import PerturbationRecord, RoundRecord
+from .trace import PerturbationRecord
 
 #: Bits reserved for the minor index in a packed edge pair.  2**32 nodes
 #: is far beyond any simulable size, and packed keys stay machine-sized.
@@ -95,6 +95,11 @@ class DenseNetwork:
             _pack(idx_of[u], idx_of[v]) for u, v in graph.edges()
         }
         self._active_pairs: set[int] = set(self._orig_pairs)
+        #: ``|E(i) \ E(1)|`` maintained incrementally by :meth:`apply`
+        #: (and recomputed after external strikes): the per-round
+        #: ``num_activated_edges`` read must not pay an O(active) set
+        #: difference each emitted round.
+        self._n_activated: int = 0
         # Per-index canonical neighborhood snapshot slots (None = stale).
         self._frozen: list = [None] * len(uid_of)
         self._original_view: frozenset | None = None
@@ -175,8 +180,8 @@ class DenseNetwork:
 
     @property
     def num_activated_edges(self) -> int:
-        """``|E(i) \\ E(1)|`` in pure int-set arithmetic (no unpacking)."""
-        return len(self._active_pairs - self._orig_pairs)
+        """``|E(i) \\ E(1)|`` from the incrementally maintained counter."""
+        return self._n_activated
 
     def potential_neighbors(self, u) -> set:
         """``N_2(u)``: nodes at distance exactly two from ``u``."""
@@ -296,11 +301,15 @@ class DenseNetwork:
         frozen = self._frozen
         uid_of = self._uid_of
         identity = self._identity
+        orig = self._orig_pairs
+        n_activated = self._n_activated
         activations: set = set()
         deactivations: set = set()
         for pair in act_pairs:
             i, j = pair >> _SHIFT, pair & _MASK
             active.add(pair)
+            if pair not in orig:
+                n_activated += 1
             iadj[i].add(j)
             iadj[j].add(i)
             frozen[i] = None
@@ -309,11 +318,14 @@ class DenseNetwork:
         for pair in dac_pairs:
             i, j = pair >> _SHIFT, pair & _MASK
             active.discard(pair)
+            if pair not in orig:
+                n_activated -= 1
             iadj[i].discard(j)
             iadj[j].discard(i)
             frozen[i] = None
             frozen[j] = None
             deactivations.add((i, j) if identity else edge_key(uid_of[i], uid_of[j]))
+        self._n_activated = n_activated
 
         self.round += 1
         return activations, deactivations
@@ -412,6 +424,10 @@ class DenseNetwork:
             frozen[j] = None
 
         self._nodes = frozenset(nodes)
+        # Strikes touch both ``active`` and ``orig`` in ways the
+        # incremental counter cannot track cheaply; they are rare
+        # (inter-episode), so one exact recompute keeps it honest.
+        self._n_activated = len(active - orig)
         return dropped, added
 
 
@@ -708,17 +724,9 @@ class DenseRunner(SynchronousRunner):
             connected = True
 
         if observers is not None:
-            record = RoundRecord(
-                round=round_no,
-                activations=frozenset(activations),
-                deactivations=frozenset(deactivations),
-                active_edges=net.num_active_edges,
-                activated_edges=net.num_activated_edges,
-                connected=connected,
-                barrier_epoch=self.barrier_epoch,
+            self._emit_round(
+                observers, net, round_no, activations, deactivations, connected
             )
-            for obs in observers:
-                obs.on_round(record)
 
         # Commit the pooled snapshots in one bulk pass (including a
         # halting program's final state, which neighbors may still read).

@@ -47,6 +47,16 @@ class RoundObserver:
     the hook protocol grows.
     """
 
+    #: Observers that never retain a round's effective sets beyond the
+    #: ``on_round`` call may set this to ``True`` to receive a borrowed
+    #: :class:`RawRound` view instead of a :class:`RoundRecord` — the
+    #: runner then skips the per-round ``frozenset`` materialization for
+    #: them (the record-stream analogue of PR 7's telemetry-probe
+    #: exclusion; the online conformance checkers opt in).  Serializing
+    #: observers (trace/sink) keep the default and still get the exact
+    #: ``RoundRecord``.
+    accepts_raw_rounds = False
+
     def on_run_start(self, network) -> None:
         """A run (or pipeline stage / self-healing episode) begins."""
 
@@ -61,6 +71,46 @@ class RoundObserver:
 
     def on_run_end(self, metrics) -> None:
         """The run finished normally (``metrics`` is the final Metrics)."""
+
+
+class RawRound:
+    """A committed round as the runner holds it, before materialization.
+
+    Field-compatible with :class:`~repro.engine.trace.RoundRecord`, but
+    ``activations`` / ``deactivations`` are the runner's own raw
+    collections (lists/sets of uid pairs), **borrowed** — valid only
+    for the duration of the ``on_round`` call that delivers them.
+    Handed exclusively to observers declaring
+    ``accepts_raw_rounds = True``.
+    """
+
+    __slots__ = (
+        "round",
+        "activations",
+        "deactivations",
+        "active_edges",
+        "activated_edges",
+        "connected",
+        "barrier_epoch",
+    )
+
+    def __init__(
+        self,
+        round,
+        activations,
+        deactivations,
+        active_edges,
+        activated_edges,
+        connected,
+        barrier_epoch,
+    ) -> None:
+        self.round = round
+        self.activations = activations
+        self.deactivations = deactivations
+        self.active_edges = active_edges
+        self.activated_edges = activated_edges
+        self.connected = connected
+        self.barrier_epoch = barrier_epoch
 
 
 class TraceObserver(RoundObserver):

@@ -24,7 +24,7 @@ from ..errors import ConfigurationError, ExecutionError, ProtocolViolation
 from .actions import RoundActions
 from .metrics import Metrics, MetricsRecorder
 from .network import ConnectivityTracker, Network
-from .observers import TraceObserver
+from .observers import RawRound, TraceObserver
 from .program import Context, NodeProgram
 from .trace import PerturbationRecord, RoundRecord, Trace
 
@@ -117,6 +117,60 @@ class SynchronousRunner:
     backend_name = "reference"
     #: The per-node context class this backend hands to programs.
     _context_cls = Context
+    #: Cached observer payload partition for :meth:`_emit_round`
+    #: (``(observers, per-observer raw flags, any_raw, any_record)``).
+    _obs_partition = None
+
+    def _emit_round(
+        self, observers, net, round_no, activations, deactivations, connected
+    ) -> None:
+        """Deliver a committed round to every observer.
+
+        Observers declaring ``accepts_raw_rounds`` receive a borrowed
+        :class:`~repro.engine.observers.RawRound` over the runner's own
+        effective collections — no ``frozenset`` materialization on
+        their behalf; everyone else receives the exact
+        :class:`RoundRecord` as before.  Each payload is built at most
+        once per round, and not at all when no observer wants it.  The
+        partition is cached per observers list (identity-checked), so
+        steady-state cost is one list lookup.
+        """
+        cached = self._obs_partition
+        if cached is None or cached[0] is not observers:
+            flags = [bool(getattr(o, "accepts_raw_rounds", False)) for o in observers]
+            cached = (observers, flags, any(flags), not all(flags))
+            self._obs_partition = cached
+        _, flags, any_raw, any_record = cached
+        active_edges = net.num_active_edges
+        activated_edges = net.num_activated_edges
+        record = (
+            RoundRecord(
+                round=round_no,
+                activations=frozenset(activations),
+                deactivations=frozenset(deactivations),
+                active_edges=active_edges,
+                activated_edges=activated_edges,
+                connected=connected,
+                barrier_epoch=self.barrier_epoch,
+            )
+            if any_record
+            else None
+        )
+        raw = (
+            RawRound(
+                round_no,
+                activations,
+                deactivations,
+                active_edges,
+                activated_edges,
+                connected,
+                self.barrier_epoch,
+            )
+            if any_raw
+            else None
+        )
+        for obs, is_raw in zip(observers, flags):
+            obs.on_round(raw if is_raw else record)
 
     def __new__(cls, *args, backend: str | None = None, **kwargs):
         if cls is SynchronousRunner:
@@ -363,17 +417,9 @@ class SynchronousRunner:
             connected = True
 
         if observers is not None:
-            record = RoundRecord(
-                round=round_no,
-                activations=frozenset(activations),
-                deactivations=frozenset(deactivations),
-                active_edges=net.num_active_edges,
-                activated_edges=net.num_activated_edges,
-                connected=connected,
-                barrier_epoch=self.barrier_epoch,
+            self._emit_round(
+                observers, net, round_no, activations, deactivations, connected
             )
-            for obs in observers:
-                obs.on_round(record)
 
         # Mark stale publics (including a halting program's final state,
         # which neighbors may still read in later rounds) and retire the

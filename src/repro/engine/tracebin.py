@@ -50,6 +50,11 @@ import struct
 import zlib
 from typing import NamedTuple
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a core dependency
+    _np = None
+
 from ..errors import ConfigurationError, TraceError
 from .observers import JsonlSink, RoundObserver
 from .trace import (
@@ -312,6 +317,182 @@ def _decode_pert(payload) -> PerturbationRecord:
         adds=frozenset(adds),
         crashes=crashes,
         joins=tuple(joins),
+    )
+
+
+# ----------------------------------------------------------------------
+# array decode: whole edge blocks as int64 endpoint arrays
+# ----------------------------------------------------------------------
+
+
+class _PairsView:
+    """Lazy pair view over int64 endpoint arrays.
+
+    Iterates Python ``(u, v)`` int tuples, so every record-stream
+    consumer works unchanged; array-capable consumers (the conformance
+    checkers in :mod:`repro.conformance_arrays`) read ``.u`` / ``.v``
+    directly.  Order is the canonical archive order — exactly
+    ``sorted_edges`` of the set (the writer sorts before delta coding).
+    """
+
+    __slots__ = ("u", "v")
+
+    def __init__(self, u, v) -> None:
+        self.u = u
+        self.v = v
+
+    def __len__(self) -> int:
+        return self.u.size
+
+    def __bool__(self) -> bool:
+        return self.u.size > 0
+
+    def __iter__(self):
+        return iter(zip(self.u.tolist(), self.v.tolist()))
+
+
+class ArrayRound:
+    """A round decoded straight into endpoint arrays.
+
+    Field-compatible with :class:`~repro.engine.trace.RoundRecord`
+    (``activations`` / ``deactivations`` are :class:`_PairsView`s);
+    yielded by ``iter_segment(..., arrays=True)`` instead of a
+    ``RoundRecord`` whenever the frame's edge blocks are int-delta
+    coded.  Tagged (str-label) and out-of-range frames fall back to the
+    scalar decoder transparently.
+    """
+
+    __slots__ = (
+        "round",
+        "activations",
+        "deactivations",
+        "active_edges",
+        "activated_edges",
+        "connected",
+        "barrier_epoch",
+    )
+
+    def __init__(
+        self,
+        round,
+        activations,
+        deactivations,
+        active_edges,
+        activated_edges,
+        connected,
+        barrier_epoch,
+    ) -> None:
+        self.round = round
+        self.activations = activations
+        self.deactivations = deactivations
+        self.active_edges = active_edges
+        self.activated_edges = activated_edges
+        self.connected = connected
+        self.barrier_epoch = barrier_epoch
+
+
+#: Per-delta magnitude / per-block count ceilings for the vectorized
+#: path: values any real archive stays far under, chosen so the int64
+#: cumsum provably cannot wrap (2^26 * 2^35 < 2^62).  Beyond them the
+#: scalar decoder (arbitrary-precision Python ints) takes over.
+_VEC_MAX_DELTA = 1 << 35
+_VEC_MAX_COUNT = 1 << 26
+
+
+def _decode_svs_vec(b, pos: int, count: int):
+    """Decode ``count`` zigzag varints from ``b[pos:]`` in one pass.
+
+    Returns ``(int64 values, new_pos)``, or ``None`` when a varint is
+    long enough (> 9 bytes) that the value could exceed int64 — the
+    caller falls back to the scalar decoder, which handles arbitrary
+    Python ints.  Terminator bytes are found as a vector (high bit
+    clear), each byte's 7 payload bits are shifted by its within-varint
+    position, and groups fold with ``np.add.at`` (disjoint bit ranges,
+    so sum == or).
+    """
+    a = b[pos:]
+    term = _np.nonzero((a & 0x80) == 0)[0]
+    if term.size < count:
+        raise TraceError("payload truncated")
+    term = term[:count]
+    used = int(term[-1]) + 1
+    starts = _np.empty(count, dtype=_np.int64)
+    starts[0] = 0
+    starts[1:] = term[:-1] + 1
+    lens = term - starts + 1
+    if int(lens.max()) > 9:
+        return None
+    group = _np.repeat(_np.arange(count), lens)
+    within = _np.arange(used, dtype=_np.int64) - starts[group]
+    contrib = (a[:used].astype(_np.uint64) & _np.uint64(0x7F)) << (
+        (7 * within).astype(_np.uint64)
+    )
+    z = _np.zeros(count, dtype=_np.uint64)
+    _np.add.at(z, group, contrib)
+    mag = (z >> _np.uint64(1)).astype(_np.int64)
+    vals = _np.where((z & _np.uint64(1)).astype(bool), -mag - 1, mag)
+    return vals, pos + used
+
+
+def _edges_arrays(cur, b):
+    """Decode one edge block into ``(u, v)`` int64 arrays, or ``None``
+    to send the whole frame to the scalar decoder (tagged labels,
+    oversized blocks, oversized deltas)."""
+    count = cur.uv()
+    if count == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty
+    mode = cur.u8()
+    if mode != _EDGES_INT_DELTA:
+        if mode != _EDGES_TAGGED:
+            raise TraceError(f"unknown edge-list mode 0x{mode:02x}")
+        return None
+    if count > _VEC_MAX_COUNT:
+        return None
+    out = _decode_svs_vec(b, cur.pos, 2 * count)
+    if out is None:
+        return None
+    vals, cur.pos = out
+    du, dv = vals[0::2], vals[1::2]
+    if int(_np.abs(du).max()) >= _VEC_MAX_DELTA or int(_np.abs(dv).max()) >= _VEC_MAX_DELTA:
+        return None
+    u = _np.cumsum(du)
+    return u, u + dv
+
+
+def _decode_round_arrays(payload):
+    """Decode a round frame into an :class:`ArrayRound`; any reason the
+    vector path cannot represent it exactly — tagged labels, huge
+    values — falls back to :func:`_decode_round` on the same payload.
+    Errors are raised by re-running the scalar decoder, so malformed
+    frames fail with byte-identical messages in both modes."""
+    try:
+        cur = _Cursor(payload)
+        round_no = cur.sv()
+        barrier_epoch = cur.sv()
+        connected = cur.u8()
+        if connected not in (0, 1):
+            raise TraceError(f"connected flag must be 0/1, got {connected}")
+        active_edges = cur.sv()
+        activated_edges = cur.sv()
+        b = _np.frombuffer(payload, dtype=_np.uint8)
+        acts = _edges_arrays(cur, b)
+        if acts is None:
+            return _decode_round(payload)
+        deacts = _edges_arrays(cur, b)
+        if deacts is None:
+            return _decode_round(payload)
+        cur.done()
+    except TraceError:
+        return _decode_round(payload)  # fail with the scalar diagnostics
+    return ArrayRound(
+        round=round_no,
+        activations=_PairsView(*acts),
+        deactivations=_PairsView(*deacts),
+        active_edges=active_edges,
+        activated_edges=activated_edges,
+        connected=bool(connected),
+        barrier_epoch=barrier_epoch,
     )
 
 
@@ -611,9 +792,19 @@ class BinaryTraceReader:
     def n_perturbations(self) -> int:
         return sum(seg.n_perturbations for seg in self.segments)
 
-    def iter_segment(self, index: int):
+    def iter_segment(self, index: int, *, arrays: bool = False):
         """Yield segment ``index``'s records (rounds and perturbations,
-        interleaved in file order), streaming and fully validated."""
+        interleaved in file order), streaming and fully validated.
+
+        With ``arrays=True`` (and numpy importable), int-delta round
+        frames decode into :class:`ArrayRound`s — whole edge blocks as
+        int64 endpoint arrays via a vectorized varint pass, no per-pair
+        Python — which the conformance checkers consume natively.
+        Frames the vector path cannot represent exactly fall back to
+        ``RoundRecord`` transparently, so consumers must only rely on
+        the shared field surface.  Validation (framing, CRC, counts) is
+        identical in both modes.
+        """
         try:
             info = self.segments[index]
         except IndexError:
@@ -662,7 +853,11 @@ class BinaryTraceReader:
                 start = cur.pos + length
                 try:
                     if tag == _FRAME_ROUND:
-                        record = _decode_round(payload)
+                        record = (
+                            _decode_round_arrays(payload)
+                            if arrays and _np is not None
+                            else _decode_round(payload)
+                        )
                         rounds += 1
                     elif tag == _FRAME_PERT:
                         record = _decode_pert(payload)

@@ -594,3 +594,104 @@ class TestSweepProgress:
         # remains the opt-out); see the xlarge-silence fix in this PR.
         assert SWEEP_TIERS["large"]["heartbeat"] is True
         assert SWEEP_TIERS["xlarge"]["heartbeat"] is True
+
+
+class TestCheckTraceErrorRouting:
+    """Exit-code contract for ``check-trace``: 0 green, 1 red, 2 when the
+    archive or configuration is unusable — always a one-line stderr
+    message, never a traceback."""
+
+    ARGS = ["-a", "wreath", "-f", "ring", "--n", "24"]
+
+    def _archive(self, tmp_path, name="run.rtb"):
+        path = tmp_path / name
+        assert main(["-a", "wreath", "-f", "ring", "--n", "24",
+                     "--trace-out", str(path)]) == 0
+        return path
+
+    def _assert_one_line_error(self, capsys):
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert err.strip() and "\n" not in err.strip()
+        return err
+
+    def test_missing_archive_exits_2(self, capsys, tmp_path):
+        assert main(["check-trace", str(tmp_path / "nope.rtb"),
+                     *self.ARGS]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_directory_archive_exits_2(self, capsys, tmp_path):
+        assert main(["check-trace", str(tmp_path), *self.ARGS]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_truncated_jsonl_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["-a", "wreath", "-f", "ring", "--n", "24",
+                     "--trace-out", str(path)]) == 0
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert main(["check-trace", str(path), *self.ARGS]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_corrupt_rtb_exits_2_without_traceback(self, capsys, tmp_path):
+        path = self._archive(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert main(["check-trace", str(path), *self.ARGS]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_perturbed_multisegment_jsonl_exits_2(self, capsys, tmp_path):
+        """Flattened JSONL loses the segment association of perturbation
+        records; the audit must refuse (ConfigurationError -> 2), not
+        silently mis-attribute the strikes."""
+        from repro.core import run_graph_to_wreath
+        from repro.engine.trace import PerturbationRecord, Trace
+        from repro.graphs import families
+
+        res = run_graph_to_wreath(families.make("ring", 24),
+                                  collect_trace=True)
+        t = Trace(records=list(res.trace.records))
+        t.append_perturbation(PerturbationRecord(
+            round=len(t.records), drops=frozenset(), adds=frozenset(),
+            crashes=(3,), joins=()))
+        t.records.extend(res.trace.records)
+        path = tmp_path / "pert.jsonl"
+        path.write_text(t.to_jsonl())
+        assert main(["check-trace", str(path), *self.ARGS]) == 2
+        err = self._assert_one_line_error(capsys)
+        assert "multi-segment" in err
+
+    def test_bad_n_exits_2(self, capsys, tmp_path):
+        path = self._archive(tmp_path)
+        assert main(["check-trace", str(path), "-a", "wreath", "-f", "line",
+                     "--n", "0"]) == 2
+        err = self._assert_one_line_error(capsys)
+        assert "n must be" in err
+
+    def test_bad_baselines_rejected_by_argparse(self, capsys, tmp_path):
+        path = self._archive(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(["check-trace", str(path), *self.ARGS,
+                  "--baselines", "bogus"])
+        assert exc.value.code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_scenario_without_invariants_exits_2(self, capsys, tmp_path):
+        path = self._archive(tmp_path)
+        code = main(["check-trace", str(path), "-a", "cut-in-half",
+                     "-f", "line", "--n", "24"])
+        err = capsys.readouterr().err
+        if code == 2:
+            assert "no invariants" in err and "Traceback" not in err
+        else:  # every scenario declares invariants today
+            assert code in (0, 1)
+
+    def test_mismatched_scenario_is_red_not_crash(self, capsys, tmp_path):
+        """Auditing against the wrong n is a *verdict* failure (exit 1),
+        not an error route."""
+        path = self._archive(tmp_path)
+        assert main(["check-trace", str(path), "-a", "wreath", "-f", "ring",
+                     "--n", "16"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out

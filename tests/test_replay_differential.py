@@ -1,0 +1,209 @@
+"""Differential: ``_EdgeReplay._apply_perturbation`` vs the engine.
+
+The offline replay folds adversary strikes by reimplementing
+``Network.apply_external``'s event semantics over the replayed
+adjacency.  That reimplementation is held to the engine here, two ways:
+
+* **named regressions** — one test per divergence the PR 10 sweep
+  found (each failed against the pre-fix replay): the engine never
+  crashes the last remaining node, skips a duplicate join *entirely*
+  (no attach edges onto the existing node), and silently drops
+  self-loop adds / self-attach joins;
+* **hypothesis sweep** — random strike batches mixing same-batch
+  crash+join uid interactions, joins attaching to crashed or unknown
+  uids, duplicate joins, drops naming crashed endpoints, and self-loop
+  adds, asserting the folded (nodes, edges, edge count) match the
+  engine's exactly.
+
+The array checkers reuse the dict fold verbatim on a materialized
+adjacency (``repro.conformance_arrays._DictProxy``), so this suite
+covers both implementations.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.conformance import TemporalLegalityChecker, _EdgeReplay
+from repro.engine.network import Network
+from repro.engine.trace import PerturbationRecord
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+
+def _net(nodes, edges):
+    g = nx.Graph()
+    g.add_nodes_from(nodes)
+    g.add_edges_from(edges)
+    return Network(g, require_connected=False)
+
+
+def _ring(n):
+    return _net(range(n), [(i, (i + 1) % n) for i in range(n)])
+
+
+def _pert(*, drops=(), adds=(), crashes=(), joins=()):
+    return PerturbationRecord(
+        round=1,
+        drops=frozenset(drops),
+        adds=frozenset(adds),
+        crashes=tuple(crashes),
+        joins=tuple(joins),
+    )
+
+
+def _replay_for(net):
+    replay = _EdgeReplay()
+    replay.on_run_start(net)
+    return replay
+
+
+def _canon(edges):
+    return {tuple(sorted(e)) for e in edges}
+
+
+def _assert_match(net, replay):
+    r_nodes = set(replay._adj)
+    r_edges = {
+        tuple(sorted((u, v)))
+        for u, nbrs in replay._adj.items()
+        for v in nbrs
+    }
+    assert r_nodes == set(net.nodes)
+    assert r_edges == _canon(net.edges())
+    assert replay._n_edges == net.num_active_edges
+
+
+def _fold_both(net, record):
+    replay = _replay_for(net)
+    net.apply_external(
+        drops=record.drops,
+        adds=record.adds,
+        crashes=record.crashes,
+        joins=record.joins,
+    )
+    replay._apply_perturbation(record)
+    _assert_match(net, replay)
+
+
+# ----------------------------------------------------------------------
+# named regressions (each diverged before the PR 10 fixes)
+# ----------------------------------------------------------------------
+
+
+def test_crash_never_removes_the_last_node():
+    """The engine skips a crash that would empty the network; the
+    pre-fix replay applied it and ended up with zero nodes."""
+    net = _net([7], [])
+    _fold_both(net, _pert(crashes=[7]))
+    # And the sequential form: crash everyone, one at a time — the
+    # engine's guard re-evaluates per event, leaving exactly one node.
+    net = _ring(3)
+    record = _pert(crashes=[0, 1, 2])
+    _fold_both(net, record)
+    assert len(net.nodes) == 1
+
+
+def test_duplicate_join_attaches_no_edges():
+    """A join whose uid already exists is skipped *entirely* — the
+    pre-fix replay fell through and attached the edges anyway."""
+    net = _ring(4)
+    _fold_both(net, _pert(joins=[(0, (2,))]))
+    assert not net.has_edge(0, 2)
+
+
+def test_same_batch_duplicate_joins_keep_first_attach():
+    """Two joins of the same new uid in one batch: the second is the
+    duplicate (the first already added the node)."""
+    net = _ring(4)
+    _fold_both(net, _pert(joins=[(9, (0,)), (9, (1, 2))]))
+    assert net.has_edge(9, 0) and not net.has_edge(9, 1)
+
+
+def test_self_loop_add_is_skipped():
+    """The engine drops self-loop adds; the pre-fix replay stored ``u``
+    in its own adjacency set and diverged on the folded edge count."""
+    net = _ring(4)
+    _fold_both(net, _pert(adds=[(2, 2)]))
+
+
+def test_join_attaching_to_itself_is_skipped():
+    net = _ring(4)
+    _fold_both(net, _pert(joins=[(9, (9, 0))]))
+    assert net.has_edge(9, 0)
+
+
+def test_join_attaching_to_crashed_uid_in_same_batch():
+    """Crashes fold first, so a join attaching to the crashed uid gets
+    no edge — but an attach to a surviving node still lands."""
+    net = _ring(4)
+    _fold_both(net, _pert(crashes=[1], joins=[(9, (1, 2))]))
+    assert net.has_edge(9, 2) and 1 not in net.nodes
+
+
+def test_drop_naming_crashed_endpoint_is_noop():
+    net = _ring(4)
+    _fold_both(net, _pert(crashes=[1], drops=[(1, 2), (2, 3)]))
+
+
+def test_legality_checker_inherits_the_fold():
+    """The temporal-legality checker's perturbation hook folds with the
+    same (fixed) semantics and keeps its activated-set accounting."""
+    checker = TemporalLegalityChecker()
+    checker.on_run_start(_ring(4))
+    checker.on_perturbation(_pert(crashes=[0], joins=[(0, (1,))]))
+    net = _ring(4)
+    net.apply_external(crashes=[0], joins=[(0, (1,))])
+    assert {tuple(sorted(e)) for e in net.edges()} == {
+        tuple(sorted((u, v)))
+        for u, nbrs in checker._adj.items()
+        for v in nbrs
+    }
+
+
+# ----------------------------------------------------------------------
+# hypothesis sweep over random strike batches
+# ----------------------------------------------------------------------
+
+if HAVE_HYPOTHESIS:
+    _uid = st.integers(min_value=0, max_value=11)
+    _new_uid = st.integers(min_value=8, max_value=15)
+    _pair = st.tuples(_uid, _uid)
+    _batch = st.fixed_dictionaries(
+        {
+            "drops": st.lists(_pair, max_size=4),
+            "adds": st.lists(_pair, max_size=4),
+            "crashes": st.lists(_uid, max_size=4),
+            "joins": st.lists(
+                st.tuples(_new_uid, st.lists(_uid, max_size=3).map(tuple)),
+                max_size=3,
+            ),
+        }
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=8), batches=st.lists(_batch, min_size=1, max_size=3))
+    def test_random_strike_batches_match_engine(n, batches):
+        net = _ring(n) if n >= 3 else _net(
+            range(n), [(i, i + 1) for i in range(n - 1)]
+        )
+        replay = _replay_for(net)
+        for batch in batches:
+            record = _pert(**batch)
+            net.apply_external(
+                drops=record.drops,
+                adds=record.adds,
+                crashes=record.crashes,
+                joins=record.joins,
+            )
+            replay._apply_perturbation(record)
+            _assert_match(net, replay)
+else:  # pragma: no cover
+
+    @pytest.mark.skip(reason="hypothesis not installed")
+    def test_random_strike_batches_match_engine():
+        pass

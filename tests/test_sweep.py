@@ -632,3 +632,65 @@ class TestProfiledSweeps:
             (tmp_path / "cache" / "manifest.json").read_text()
         )
         assert manifest["profile"] is False
+
+
+class TestVerdictCellCsvRoundTrip:
+    """PR 10 regression: multi-failure verdict details embed ``;``/``,``
+    and raw node reprs; the sanitized ``Verdict.cell`` must survive a
+    ``SweepResult`` CSV round trip as exactly one field per row."""
+
+    def _result_with_cell(self, cell):
+        from repro.analysis.sweep import SweepRow
+
+        row = SweepRow("star", "ring", 8, 5, 9, 3, 2, 2, 2,
+                       extra={"inv_temporal-legality": cell})
+        return SweepResult(rows=[row])
+
+    def _nasty_verdict(self):
+        from repro.conformance import TemporalLegalityChecker
+        from repro.engine.trace import RoundRecord
+
+        class _G:
+            nodes = frozenset({"a,b\nc", "d;e", "f"})
+
+            def edges(self):
+                return iter([("a,b\nc", "d;e"), ("d;e", "f")])
+
+        checker = TemporalLegalityChecker()
+        checker.on_run_start(_G())
+        checker.on_round(RoundRecord(
+            round=1,
+            activations=frozenset({("a,b\nc", "f"), ("a,b\nc", "nope")}),
+            deactivations=frozenset({("f", "d;e")}),
+            active_edges=99,
+            activated_edges=99,
+            connected=True,
+            barrier_epoch=0,
+        ))
+        verdict = checker.verdict()
+        assert not verdict.ok
+        # multi-failure detail with every separator a consumer could trip on
+        assert ";" in verdict.detail and "," in verdict.detail
+        return verdict
+
+    def test_cell_escapes_control_characters(self):
+        from repro.conformance import Verdict
+
+        cell = Verdict("x", False, "line1\nline2\tcol\r\\slash").cell
+        assert cell == "FAIL: line1\\nline2\\tcol\\r\\\\slash"
+        assert "\n" not in cell and "\r" not in cell and "\t" not in cell
+
+    def test_multi_failure_verdict_round_trips_through_csv(self, tmp_path):
+        verdict = self._nasty_verdict()
+        cell = verdict.cell
+        assert "\n" not in cell  # str label reprs cannot smuggle newlines
+        path = tmp_path / "rows.csv"
+        self._result_with_cell(cell).to_csv(path)
+        text = path.read_text()
+        # one header line + one row line: no cell spilled a record break
+        assert len(text.strip().splitlines()) == 2
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        assert rows[0]["inv_temporal-legality"] == cell
+        assert rows[0]["algorithm"] == "star"
